@@ -1,0 +1,330 @@
+//! AppSAT — the approximate SAT attack (Shamsi et al., HOST 2017).
+//!
+//! AppSAT interleaves DIP iterations with random-query error estimation:
+//! once the current best key's estimated error drops below a threshold it
+//! returns early with an *approximate* key instead of grinding to miter
+//! UNSAT. Against low-corruptibility point-function locks this terminates
+//! quickly; against RIL-Blocks' high-corruption key logic it degenerates
+//! to the exact attack; and against the Scan-Enable defense its model is
+//! inconsistent with the oracle and it "fails and terminates erroneously"
+//! (paper Table III, ✗ column).
+
+use crate::miter::AttackInstance;
+use crate::oracle::{attacker_view, Oracle};
+use crate::report::{AttackReport, AttackResult};
+use crate::satattack::default_timeout;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ril_core::LockedCircuit;
+use ril_netlist::{Netlist, Simulator};
+use ril_sat::{Outcome, SolverConfig};
+use std::time::{Duration, Instant};
+
+/// AppSAT configuration ("default setting" = the published d/q/threshold).
+#[derive(Debug, Clone)]
+pub struct AppSatConfig {
+    /// DIP iterations between error estimations.
+    pub rounds_per_estimate: usize,
+    /// Random queries per estimation.
+    pub queries_per_estimate: usize,
+    /// Accept the candidate when the estimated error is at or below this.
+    pub error_threshold: f64,
+    /// Wall-clock budget.
+    pub timeout: Option<Duration>,
+    /// Maximum DIP iterations.
+    pub max_iterations: Option<usize>,
+    /// Backend solver configuration.
+    pub solver: SolverConfig,
+    /// RNG seed for the random queries.
+    pub seed: u64,
+}
+
+impl Default for AppSatConfig {
+    fn default() -> AppSatConfig {
+        AppSatConfig {
+            rounds_per_estimate: 4,
+            queries_per_estimate: 32,
+            error_threshold: 0.0,
+            timeout: Some(default_timeout()),
+            max_iterations: None,
+            solver: SolverConfig::default(),
+            seed: 0xA995A7,
+        }
+    }
+}
+
+/// Runs AppSAT against an attacker-view netlist and oracle.
+///
+/// # Panics
+///
+/// Panics if the netlist has no key inputs or widths mismatch the oracle.
+pub fn appsat_attack(nl: &Netlist, oracle: &mut Oracle, cfg: &AppSatConfig) -> AttackReport {
+    let start = Instant::now();
+    let queries_before = oracle.queries();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut inst = AttackInstance::new(nl, cfg.solver.clone(), None);
+    assert_eq!(inst.oracle_positions.len(), oracle.input_width());
+    let mut predict_sim = Simulator::new(nl).expect("combinational attacker view");
+    let mut iterations = 0usize;
+
+    let report = |result: AttackResult, iterations: usize, oq: u64| AttackReport {
+        result,
+        wall: start.elapsed(),
+        iterations,
+        oracle_queries: oq,
+        functionally_correct: None,
+    };
+    let left = |start: Instant, t: Option<Duration>| {
+        t.map(|t| t.saturating_sub(start.elapsed()).max(Duration::from_millis(100)))
+    };
+
+    loop {
+        if let Some(t) = cfg.timeout {
+            match t.checked_sub(start.elapsed()) {
+                None => {
+                    return report(
+                        AttackResult::Timeout,
+                        iterations,
+                        oracle.queries() - queries_before,
+                    )
+                }
+                Some(remaining) => inst.solver.set_timeout(Some(remaining)),
+            }
+        }
+        if cfg.max_iterations.is_some_and(|m| iterations >= m) {
+            return report(
+                AttackResult::Timeout,
+                iterations,
+                oracle.queries() - queries_before,
+            );
+        }
+        match inst.solver.solve() {
+            Outcome::Unknown => {
+                return report(
+                    AttackResult::Timeout,
+                    iterations,
+                    oracle.queries() - queries_before,
+                )
+            }
+            Outcome::Unsat => {
+                // Converged exactly — extract like the plain SAT attack.
+                return match inst.extract_key(left(start, cfg.timeout)) {
+                    Ok(Some(key)) => report(
+                        AttackResult::ExactKey(key),
+                        iterations,
+                        oracle.queries() - queries_before,
+                    ),
+                    Ok(None) => report(
+                        AttackResult::Failed(
+                            "AppSAT terminated erroneously: no key matches the oracle".into(),
+                        ),
+                        iterations,
+                        oracle.queries() - queries_before,
+                    ),
+                    Err(()) => report(
+                        AttackResult::Timeout,
+                        iterations,
+                        oracle.queries() - queries_before,
+                    ),
+                };
+            }
+            Outcome::Sat => {
+                iterations += 1;
+                let dip_full = inst.dip_from_model();
+                let response = oracle.query(&inst.oracle_dip(&dip_full));
+                if inst.add_dip(nl, &dip_full, &response).is_err() {
+                    return report(
+                        AttackResult::Failed(
+                            "AppSAT terminated erroneously: oracle contradicts key-independent logic"
+                                .into(),
+                        ),
+                        iterations,
+                        oracle.queries() - queries_before,
+                    );
+                }
+            }
+        }
+
+        // Periodic error estimation with random-query reinforcement.
+        if iterations % cfg.rounds_per_estimate == 0 {
+            let candidate = match inst.extract_key(left(start, cfg.timeout)) {
+                Ok(Some(key)) => key,
+                Ok(None) => {
+                    return report(
+                        AttackResult::Failed(
+                            "AppSAT terminated erroneously: candidate-key formula is UNSAT".into(),
+                        ),
+                        iterations,
+                        oracle.queries() - queries_before,
+                    )
+                }
+                Err(()) => {
+                    return report(
+                        AttackResult::Timeout,
+                        iterations,
+                        oracle.queries() - queries_before,
+                    )
+                }
+            };
+            let mut wrong_bits = 0usize;
+            let mut total_bits = 0usize;
+            for _ in 0..cfg.queries_per_estimate {
+                let probe: Vec<bool> = (0..oracle.input_width()).map(|_| rng.gen()).collect();
+                let truth = oracle.query(&probe);
+                let mut full = vec![false; inst.input_vars.len()];
+                for (slot, &pos) in inst.oracle_positions.iter().enumerate() {
+                    full[pos] = probe[slot];
+                }
+                let predict = predict_sim.eval_pattern(nl, &full, &candidate);
+                let diff = predict.iter().zip(&truth).filter(|(a, b)| a != b).count();
+                wrong_bits += diff;
+                total_bits += truth.len();
+                if diff > 0 && inst.add_dip(nl, &full, &truth).is_err() {
+                    return report(
+                        AttackResult::Failed(
+                            "AppSAT terminated erroneously: oracle contradicts key-independent logic"
+                                .into(),
+                        ),
+                        iterations,
+                        oracle.queries() - queries_before,
+                    );
+                }
+            }
+            let est_error = wrong_bits as f64 / total_bits.max(1) as f64;
+            if est_error <= cfg.error_threshold {
+                return report(
+                    AttackResult::ApproxKey {
+                        key: candidate,
+                        est_error,
+                    },
+                    iterations,
+                    oracle.queries() - queries_before,
+                );
+            }
+        }
+    }
+}
+
+/// Full harness flow: attacker view + oracle from a locked circuit, with a
+/// ground-truth functional check on the recovered key.
+///
+/// # Errors
+///
+/// Propagates simulator construction failures.
+pub fn run_appsat(
+    locked: &LockedCircuit,
+    cfg: &AppSatConfig,
+) -> Result<AttackReport, ril_netlist::NetlistError> {
+    let view = attacker_view(locked);
+    let mut oracle = Oracle::new(locked)?;
+    let mut report = appsat_attack(&view, &mut oracle, cfg);
+    if let Some(key) = report.result.key() {
+        let ok = locked.equivalent_under_key(key, 32)?;
+        report.functionally_correct = Some(ok);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ril_core::baselines::{sfll_lock, xor_lock};
+    use ril_core::{Obfuscator, RilBlockSpec};
+    use ril_netlist::generators;
+
+    fn fast_cfg() -> AppSatConfig {
+        AppSatConfig {
+            timeout: Some(Duration::from_secs(30)),
+            ..AppSatConfig::default()
+        }
+    }
+
+    #[test]
+    fn appsat_recovers_xor_lock_exactly_or_approximately() {
+        let host = generators::adder(8);
+        let locked = xor_lock(&host, 10, 4).unwrap();
+        let report = run_appsat(&locked, &fast_cfg()).unwrap();
+        assert!(report.result.succeeded(), "{report}");
+        assert_eq!(report.functionally_correct, Some(true), "{report}");
+    }
+
+    #[test]
+    fn appsat_shines_on_point_functions() {
+        // SFLL's wrong keys err on ~1 input pattern: a relaxed AppSAT
+        // threshold accepts an approximate key quickly.
+        let host = generators::adder(8);
+        let locked = sfll_lock(&host, 10, 5).unwrap();
+        let cfg = AppSatConfig {
+            error_threshold: 0.01,
+            rounds_per_estimate: 2,
+            ..fast_cfg()
+        };
+        let report = run_appsat(&locked, &cfg).unwrap();
+        assert!(report.result.succeeded(), "{report}");
+        match report.result {
+            AttackResult::ApproxKey { est_error, .. } => assert!(est_error <= 0.01),
+            AttackResult::ExactKey(_) => {}
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn appsat_breaks_unshielded_ril_blocks() {
+        let host = generators::adder(8);
+        let locked = Obfuscator::new(RilBlockSpec::size_2x2())
+            .blocks(2)
+            .seed(8)
+            .obfuscate(&host)
+            .unwrap();
+        let report = run_appsat(&locked, &fast_cfg()).unwrap();
+        assert!(report.result.succeeded(), "{report}");
+        assert_eq!(report.functionally_correct, Some(true));
+    }
+
+    #[test]
+    fn appsat_fails_under_scan_defense() {
+        // Table III: AppSAT ✗ for all circuits with SE circuitry active.
+        for seed in 0..20 {
+            let host = generators::adder(8);
+            let locked = Obfuscator::new(RilBlockSpec::size_2x2())
+                .blocks(2)
+                .scan_obfuscation(true)
+                .seed(seed)
+                .obfuscate(&host)
+                .unwrap();
+            let any_se = locked
+                .keys
+                .kinds()
+                .iter()
+                .zip(locked.keys.bits())
+                .any(|(k, &v)| matches!(k, ril_core::KeyBitKind::ScanEnable { .. }) && v);
+            if !any_se {
+                continue;
+            }
+            let report = run_appsat(&locked, &fast_cfg()).unwrap();
+            let defeated = matches!(
+                report.result,
+                AttackResult::Failed(_) | AttackResult::Timeout
+            ) || report.functionally_correct == Some(false);
+            assert!(defeated, "seed {seed}: {report}");
+            return;
+        }
+        panic!("no seed set an SE key");
+    }
+
+    #[test]
+    fn timeout_respected() {
+        let host = generators::multiplier(6);
+        let locked = Obfuscator::new(RilBlockSpec::size_8x8x8())
+            .blocks(2)
+            .seed(12)
+            .obfuscate(&host)
+            .unwrap();
+        let cfg = AppSatConfig {
+            timeout: Some(Duration::from_millis(50)),
+            ..AppSatConfig::default()
+        };
+        let report = run_appsat(&locked, &cfg).unwrap();
+        assert_eq!(report.result, AttackResult::Timeout);
+    }
+}

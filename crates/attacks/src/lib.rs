@@ -1,0 +1,54 @@
+//! # ril-attacks — the oracle-guided adversary suite
+//!
+//! Everything the paper attacks RIL-Blocks with (and the baselines those
+//! attacks *do* break):
+//!
+//! * [`satattack`] — the oracle-guided SAT attack with a CaDiCaL-class
+//!   CDCL backend, optional one-layer one-hot routing re-encoding.
+//! * [`appsat`] — the approximate attack, with error-estimation rounds.
+//! * [`removal`] — removal + bypass of key-dependent logic.
+//! * [`scansat`] — the scan-chain modelling attack and the
+//!   boundary-inversion victim it was designed for.
+//! * [`oracle`] — the activated-IC black box (scan accesses assert `SE`,
+//!   so Scan-Enable-defended designs answer with corrupted responses).
+//! * [`preprocess`] — CNF statistics and BVA preprocessing.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ril_attacks::{run_sat_attack, SatAttackConfig};
+//! use ril_core::{Obfuscator, RilBlockSpec};
+//! use ril_netlist::generators;
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let host = generators::adder(8);
+//! let locked = Obfuscator::new(RilBlockSpec::size_2x2()).seed(1).obfuscate(&host)?;
+//! let cfg = SatAttackConfig {
+//!     timeout: Some(Duration::from_secs(20)),
+//!     ..SatAttackConfig::default()
+//! };
+//! let report = run_sat_attack(&locked, &cfg)?;
+//! println!("{report}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod appsat;
+mod miter;
+pub mod oracle;
+pub mod preprocess;
+pub mod removal;
+pub mod report;
+pub mod satattack;
+pub mod scansat;
+
+pub use appsat::{appsat_attack, run_appsat, AppSatConfig};
+pub use oracle::{attacker_view, Oracle};
+pub use preprocess::{bva_stats, encoding_stats, EncodingStats};
+pub use removal::{removal_attack, RemovalReport};
+pub use report::{AttackReport, AttackResult};
+pub use satattack::{default_timeout, run_sat_attack, sat_attack, SatAttackConfig};
+pub use scansat::{output_inversion_lock, scansat_attack};

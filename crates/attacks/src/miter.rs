@@ -1,0 +1,298 @@
+//! Structure-sharing miter construction — the core machinery shared by the
+//! SAT attack and AppSAT.
+//!
+//! Published SAT-attack implementations never duplicate the whole netlist:
+//! every net that does not structurally depend on a key input has the same
+//! value in both miter copies (inputs are shared), so only the
+//! **key-dependent cones** are encoded twice. Likewise, each DIP's I/O
+//! constraint is built by *simulating* the key-free logic once and encoding
+//! only the key cones against those constants. Without this, the final
+//! UNSAT phase would have to prove the equivalence of two independent
+//! copies of the host (hopeless for multiplier-bearing hosts); with it,
+//! instance hardness comes purely from the key logic — exactly the quantity
+//! the paper's tables measure.
+
+use ril_core::{LockedCircuit, SE_PIN};
+use ril_netlist::cone::fanout_cone;
+use ril_netlist::{GateId, NetId, Netlist, Simulator};
+use ril_sat::bva::one_hot_selection;
+use ril_sat::tseitin::encode_selected;
+use ril_sat::{encode_netlist_into, Cnf, Lit, Outcome, Solver, SolverConfig, Var};
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+/// The incremental state of one oracle-guided attack.
+pub(crate) struct AttackInstance {
+    pub(crate) solver: Solver,
+    finder_cnf: Cnf,
+    miter_cnf: Cnf,
+    /// Shared data-input vars (netlist data-input order, incl. tied SE).
+    pub(crate) input_vars: Vec<Var>,
+    key1: Vec<Var>,
+    key2: Vec<Var>,
+    pub(crate) keyf: Vec<Var>,
+    /// Positions within the data inputs that are real oracle inputs.
+    pub(crate) oracle_positions: Vec<usize>,
+    dependent_gates: HashSet<GateId>,
+    dependent_nets: HashSet<NetId>,
+    /// Constant rails of the miter and finder formulas.
+    const_m: (Var, Var),
+    const_f: (Var, Var),
+    sim: Simulator,
+    solver_config: SolverConfig,
+}
+
+impl AttackInstance {
+    /// Builds the miter over the attacker-view netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has no key inputs or is sequential.
+    pub(crate) fn new(
+        nl: &Netlist,
+        solver_config: SolverConfig,
+        one_hot_meta: Option<&LockedCircuit>,
+    ) -> AttackInstance {
+        assert!(!nl.key_inputs().is_empty(), "netlist carries no key inputs");
+        let data_inputs = nl.data_inputs();
+        let key_inputs: Vec<NetId> = nl.key_inputs().to_vec();
+        let oracle_positions: Vec<usize> = data_inputs
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| nl.net(**n).name() != SE_PIN)
+            .map(|(i, _)| i)
+            .collect();
+
+        // Key-dependent cones.
+        let mut dependent_gates: HashSet<GateId> = HashSet::new();
+        for &k in &key_inputs {
+            dependent_gates.extend(fanout_cone(nl, k));
+        }
+        let dependent_nets: HashSet<NetId> = dependent_gates
+            .iter()
+            .map(|&g| nl.gate(g).output())
+            .collect();
+
+        let mut miter_cnf = Cnf::new();
+        let input_vars = miter_cnf.new_vars(data_inputs.len());
+        let key1 = miter_cnf.new_vars(key_inputs.len());
+        let key2 = miter_cnf.new_vars(key_inputs.len());
+
+        // Copy 1: the full netlist.
+        let mut pins1 = pin_map(&data_inputs, &input_vars);
+        pins1.extend(pin_map(&key_inputs, &key1));
+        let vars1 = encode_netlist_into(nl, &mut miter_cnf, &pins1).expect("combinational");
+
+        // Copy 2: only the key-dependent cones; every other net shares
+        // copy 1's variable.
+        let mut pins2: HashMap<NetId, Var> = HashMap::new();
+        for (id, _) in nl.nets() {
+            if !dependent_nets.contains(&id) {
+                pins2.insert(id, vars1.var(id));
+            }
+        }
+        for (net, var) in key_inputs.iter().zip(&key2) {
+            pins2.insert(*net, *var);
+        }
+        let map2 = encode_selected(nl, &mut miter_cnf, &pins2, |gid| {
+            dependent_gates.contains(&gid)
+        })
+        .expect("combinational");
+
+        // Optional one-layer one-hot routing re-encoding (both copies).
+        if let Some(locked) = one_hot_meta {
+            let lit1 = |n: NetId| vars1.lit(n);
+            let lit2 = |n: NetId| map2.get(&n).copied().unwrap_or_else(|| vars1.var(n)).positive();
+            for meta in &locked.block_meta {
+                for copy in 0..2 {
+                    for (ports, lines) in [
+                        (&meta.in_port_nets, &meta.in_line_nets),
+                        (&meta.out_rail_nets, &meta.out_line_nets),
+                    ] {
+                        if ports.is_empty() {
+                            continue;
+                        }
+                        let pl: Vec<Lit> = ports
+                            .iter()
+                            .map(|&n| if copy == 0 { lit1(n) } else { lit2(n) })
+                            .collect();
+                        let ll: Vec<Lit> = lines
+                            .iter()
+                            .map(|&n| if copy == 0 { lit1(n) } else { lit2(n) })
+                            .collect();
+                        one_hot_selection(&mut miter_cnf, &pl, &ll, true);
+                    }
+                }
+            }
+        }
+
+        // Miter over the key-dependent outputs only (the rest are shared).
+        let mut diff = Vec::new();
+        for &o in nl.outputs() {
+            if !dependent_nets.contains(&o) {
+                continue;
+            }
+            let x = miter_cnf.new_var().positive();
+            let a = vars1.lit(o);
+            let b = map2[&o].positive();
+            miter_cnf.add_clause([!x, a, b]);
+            miter_cnf.add_clause([!x, !a, !b]);
+            miter_cnf.add_clause([x, !a, b]);
+            miter_cnf.add_clause([x, a, !b]);
+            diff.push(x);
+        }
+        assert!(
+            !diff.is_empty(),
+            "no output depends on any key input — nothing to attack"
+        );
+        miter_cnf.add_clause(diff);
+
+        // Constant rails.
+        let ct = miter_cnf.new_var();
+        let cf = miter_cnf.new_var();
+        miter_cnf.add_clause([ct.positive()]);
+        miter_cnf.add_clause([cf.negative()]);
+
+        // Finder formula: key vars + its own constant rails.
+        let mut finder_cnf = Cnf::new();
+        let keyf = finder_cnf.new_vars(key_inputs.len());
+        let ft = finder_cnf.new_var();
+        let ff = finder_cnf.new_var();
+        finder_cnf.add_clause([ft.positive()]);
+        finder_cnf.add_clause([ff.negative()]);
+
+        let solver = Solver::from_cnf_with_config(&miter_cnf, solver_config.clone());
+        AttackInstance {
+            solver,
+            finder_cnf,
+            miter_cnf,
+            input_vars,
+            key1,
+            key2,
+            keyf,
+            oracle_positions,
+            dependent_gates,
+            dependent_nets,
+            const_m: (ct, cf),
+            const_f: (ft, ff),
+            sim: Simulator::new(nl).expect("combinational"),
+            solver_config,
+        }
+    }
+
+    /// Extracts the full data-input assignment (DIP) from the last SAT
+    /// model.
+    pub(crate) fn dip_from_model(&self) -> Vec<bool> {
+        let model = self.solver.model();
+        self.input_vars.iter().map(|v| model[v.index()]).collect()
+    }
+
+    /// Projects a full DIP onto the oracle's input pins.
+    pub(crate) fn oracle_dip(&self, dip_full: &[bool]) -> Vec<bool> {
+        self.oracle_positions.iter().map(|&p| dip_full[p]).collect()
+    }
+
+    /// Adds the I/O constraint `circuit(dip, K) = response` for the three
+    /// key vectors (both miter copies and the finder), using simulation for
+    /// all key-independent logic.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` when a key-independent output contradicts the
+    /// oracle's response — no key can explain the oracle (the Scan-Enable
+    /// defense manifests here).
+    pub(crate) fn add_dip(
+        &mut self,
+        nl: &Netlist,
+        dip_full: &[bool],
+        response: &[bool],
+    ) -> Result<(), ()> {
+        // Baseline simulation with keys = 0: key-independent nets get their
+        // true value.
+        let data_words: Vec<u64> = dip_full
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect();
+        let key_words = vec![0u64; nl.key_inputs().len()];
+        self.sim.eval_words(nl, &data_words, &key_words);
+
+        // Consistency check on key-independent outputs.
+        for (&o, &bit) in nl.outputs().iter().zip(response) {
+            if !self.dependent_nets.contains(&o) && (self.sim.net_value(o) & 1 == 1) != bit {
+                return Err(());
+            }
+        }
+
+        // Miter copies.
+        let before = self.miter_cnf.num_clauses();
+        let (k1, k2) = (self.key1.clone(), self.key2.clone());
+        for key_vars in [&k1, &k2] {
+            self.encode_constraint_copy(nl, key_vars, response, true);
+        }
+        for ci in before..self.miter_cnf.num_clauses() {
+            let clause = self.miter_cnf.clauses()[ci].clone();
+            self.solver.add_clause(clause);
+        }
+        // Finder.
+        let keyf = self.keyf.clone();
+        self.encode_constraint_copy(nl, &keyf, response, false);
+        Ok(())
+    }
+
+    /// Encodes one key-cone copy against the current baseline simulation.
+    fn encode_constraint_copy(
+        &mut self,
+        nl: &Netlist,
+        key_vars: &[Var],
+        response: &[bool],
+        into_miter: bool,
+    ) {
+        let (cnf, (ct, cf)) = if into_miter {
+            (&mut self.miter_cnf, self.const_m)
+        } else {
+            (&mut self.finder_cnf, self.const_f)
+        };
+        // Pin key-independent boundary nets to the simulated constants.
+        let mut pinned: HashMap<NetId, Var> = HashMap::new();
+        for &gid in &self.dependent_gates {
+            for &inp in nl.gate(gid).inputs() {
+                if !self.dependent_nets.contains(&inp) && !nl.is_key_input(inp) {
+                    let value = self.sim.net_value(inp) & 1 == 1;
+                    pinned.insert(inp, if value { ct } else { cf });
+                }
+            }
+        }
+        for (net, var) in nl.key_inputs().iter().zip(key_vars) {
+            pinned.insert(*net, *var);
+        }
+        let map = encode_selected(nl, cnf, &pinned, |gid| self.dependent_gates.contains(&gid))
+            .expect("combinational");
+        // Force key-dependent outputs to the oracle response.
+        for (&o, &bit) in nl.outputs().iter().zip(response) {
+            if self.dependent_nets.contains(&o) {
+                cnf.add_clause([map[&o].lit(!bit)]);
+            }
+        }
+    }
+
+    /// Solves the key-extraction formula; `Some(key)` on success, `None` on
+    /// UNSAT (no key consistent with the recorded responses), or `Err` on
+    /// budget exhaustion.
+    pub(crate) fn extract_key(&mut self, timeout: Option<Duration>) -> Result<Option<Vec<bool>>, ()> {
+        let mut finder = Solver::from_cnf_with_config(&self.finder_cnf, self.solver_config.clone());
+        finder.set_timeout(timeout);
+        match finder.solve() {
+            Outcome::Sat => {
+                let model = finder.model();
+                Ok(Some(self.keyf.iter().map(|v| model[v.index()]).collect()))
+            }
+            Outcome::Unsat => Ok(None),
+            Outcome::Unknown => Err(()),
+        }
+    }
+
+}
+
+fn pin_map(nets: &[NetId], vars: &[Var]) -> HashMap<NetId, Var> {
+    nets.iter().copied().zip(vars.iter().copied()).collect()
+}

@@ -1,0 +1,223 @@
+//! The activated-IC oracle of the threat model.
+//!
+//! The attacker owns an unlocked chip (correct key burned into tamper-proof
+//! memory) and can apply inputs / observe outputs — for the combinational
+//! threat model, through the scan interface. When the design carries the
+//! Scan-Enable obfuscation, every scan access asserts `SE`, so the
+//! responses the attacker records are corrupted by the hidden `MTJ_SE`
+//! keys (paper Section III-C); normal functional operation (`SE = 0`) is
+//! not observable bit-exactly by the attacker.
+
+use ril_core::{LockedCircuit, SE_PIN};
+use ril_netlist::{GateKind, Netlist, NetlistError, Simulator};
+
+/// Query-counting black-box oracle over an activated chip.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    netlist: Netlist,
+    sim: Simulator,
+    key_words: Vec<u64>,
+    has_se: bool,
+    scan_corrupted: bool,
+    queries: u64,
+}
+
+impl Oracle {
+    /// Builds the oracle from a locked circuit (netlist + correct key).
+    /// If the design has an `SE` pin, attack queries via
+    /// [`Oracle::query`] assert it — the defense in action.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    pub fn new(locked: &LockedCircuit) -> Result<Oracle, NetlistError> {
+        let sim = Simulator::new(&locked.netlist)?;
+        Ok(Oracle {
+            netlist: locked.netlist.clone(),
+            sim,
+            key_words: locked.keys.as_words(),
+            has_se: locked.netlist.net_id(SE_PIN).is_some(),
+            scan_corrupted: true,
+            queries: 0,
+        })
+    }
+
+    /// Disables the scan-corruption model (an idealized attacker with
+    /// direct functional access — used to show the attacks *do* work when
+    /// the SE defense is absent).
+    pub fn without_scan_corruption(mut self) -> Oracle {
+        self.scan_corrupted = false;
+        self
+    }
+
+    /// Number of data inputs the oracle expects per query (excluding the
+    /// SE pin).
+    pub fn input_width(&self) -> usize {
+        self.netlist.data_inputs().len() - usize::from(self.has_se)
+    }
+
+    /// Number of outputs per response.
+    pub fn output_width(&self) -> usize {
+        self.netlist.outputs().len()
+    }
+
+    /// Applies one input pattern through the scan interface and returns
+    /// the response. With the SE defense present and corruption enabled,
+    /// `SE = 1` during the access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.input_width()`.
+    pub fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.input_width(), "oracle input width");
+        self.queries += 1;
+        let mut data: Vec<u64> = inputs.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        if self.has_se {
+            data.push(if self.scan_corrupted { u64::MAX } else { 0 });
+        }
+        self.sim
+            .eval_words(&self.netlist, &data, &self.key_words)
+            .into_iter()
+            .map(|w| w & 1 == 1)
+            .collect()
+    }
+
+    /// Ground-truth functional response (`SE = 0`) — available to the
+    /// evaluation harness, *not* to attacks.
+    pub fn functional_response(&mut self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.input_width(), "oracle input width");
+        let mut data: Vec<u64> = inputs.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        if self.has_se {
+            data.push(0);
+        }
+        self.sim
+            .eval_words(&self.netlist, &data, &self.key_words)
+            .into_iter()
+            .map(|w| w & 1 == 1)
+            .collect()
+    }
+
+    /// Queries issued so far (scan queries only).
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+}
+
+/// The attacker's reverse-engineered netlist view.
+///
+/// The Scan-Enable circuitry lives *inside* the analog MRAM LUT (an extra
+/// MTJ and a transmission-gate MUX), so layout reverse engineering shows a
+/// plain LUT: the attacker's netlist has the SE path absent. We model this
+/// by tying the `SE` pin to constant 0, which makes every SE-XOR stage
+/// transparent (and the hidden `K_SE` key bits unobservable).
+pub fn attacker_view(locked: &LockedCircuit) -> Netlist {
+    let mut nl = locked.netlist.clone();
+    if let Some(se) = nl.net_id(SE_PIN) {
+        let zero = nl.fresh_net("se_tied");
+        nl.add_gate(GateKind::Const0, &[], zero)
+            .expect("fresh net is undriven");
+        let redirected = nl.redirect_consumers(se, zero);
+        debug_assert!(redirected > 0 || locked.blocks == 0);
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ril_core::{Obfuscator, RilBlockSpec};
+    use ril_netlist::generators;
+
+    fn locked(scan: bool) -> LockedCircuit {
+        let host = generators::adder(6);
+        Obfuscator::new(RilBlockSpec::size_8x8())
+            .scan_obfuscation(scan)
+            .seed(13)
+            .obfuscate(&host)
+            .unwrap()
+    }
+
+    #[test]
+    fn oracle_matches_original_without_scan_defense() {
+        let lc = locked(false);
+        let mut oracle = Oracle::new(&lc).unwrap();
+        let mut sim = Simulator::new(&lc.original).unwrap();
+        for pattern in [0u64, 5, 63, 4095] {
+            let bits: Vec<bool> = (0..oracle.input_width()).map(|i| (pattern >> i) & 1 == 1).collect();
+            let resp = oracle.query(&bits);
+            let expect = sim.eval_bits(&lc.original, &bits);
+            assert_eq!(resp, expect);
+        }
+        assert_eq!(oracle.queries(), 4);
+    }
+
+    #[test]
+    fn scan_defense_corrupts_some_response() {
+        // Find a seed whose SE keys are not all zero, then at least one
+        // input pattern must answer differently in scan vs functional mode.
+        for seed in 0..20 {
+            let host = generators::adder(6);
+            let lc = Obfuscator::new(RilBlockSpec::size_8x8())
+                .scan_obfuscation(true)
+                .seed(seed)
+                .obfuscate(&host)
+                .unwrap();
+            let any_se = lc
+                .keys
+                .kinds()
+                .iter()
+                .zip(lc.keys.bits())
+                .any(|(k, &v)| matches!(k, ril_core::KeyBitKind::ScanEnable { .. }) && v);
+            if !any_se {
+                continue;
+            }
+            let mut oracle = Oracle::new(&lc).unwrap();
+            let w = oracle.input_width();
+            let mut corrupted = false;
+            for pattern in 0u64..256 {
+                let bits: Vec<bool> = (0..w).map(|i| (pattern >> i) & 1 == 1).collect();
+                if oracle.query(&bits) != oracle.functional_response(&bits) {
+                    corrupted = true;
+                    break;
+                }
+            }
+            assert!(corrupted, "seed {seed}: SE key set but responses clean");
+            return;
+        }
+        panic!("no seed produced a set SE key");
+    }
+
+    #[test]
+    fn disabling_corruption_restores_functional_responses() {
+        let lc = locked(true);
+        let mut honest = Oracle::new(&lc).unwrap().without_scan_corruption();
+        let w = honest.input_width();
+        for pattern in 0u64..64 {
+            let bits: Vec<bool> = (0..w).map(|i| (pattern >> i) & 1 == 1).collect();
+            assert_eq!(honest.query(&bits), honest.functional_response(&bits));
+        }
+    }
+
+    #[test]
+    fn attacker_view_hides_se_behaviour() {
+        let lc = locked(true);
+        let view = attacker_view(&lc);
+        view.validate().unwrap();
+        // Same I/O widths as the locked netlist (SE pin still declared).
+        assert_eq!(view.inputs().len(), lc.netlist.inputs().len());
+        // Under the correct key the view equals the functional circuit even
+        // with SE pin driven high — the XOR stages are tied off.
+        let mut sim_view = Simulator::new(&view).unwrap();
+        let mut sim_orig = Simulator::new(&lc.original).unwrap();
+        let kw = lc.keys.as_words();
+        let n = lc.original.data_inputs().len();
+        for pattern in [1u64, 77, 1023] {
+            let data: Vec<u64> = (0..n).map(|i| if (pattern >> i) & 1 == 1 { u64::MAX } else { 0 }).collect();
+            let mut dv = data.clone();
+            dv.push(u64::MAX); // SE pin high — must not matter in the view
+            let o1 = sim_orig.eval_words(&lc.original, &data, &[]);
+            let o2 = sim_view.eval_words(&view, &dv, &kw);
+            assert_eq!(o1, o2);
+        }
+    }
+}

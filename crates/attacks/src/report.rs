@@ -1,0 +1,147 @@
+//! Attack outcome types shared by the whole suite.
+
+use std::fmt;
+use std::time::Duration;
+
+/// How an attack ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackResult {
+    /// A key was recovered and verified exactly equivalent on the sampled
+    /// patterns.
+    ExactKey(Vec<bool>),
+    /// An approximate key was returned (AppSAT) with the estimated output
+    /// error rate.
+    ApproxKey {
+        /// The candidate key.
+        key: Vec<bool>,
+        /// Estimated fraction of erroneous output bits.
+        est_error: f64,
+    },
+    /// The time/iteration budget expired — the `∞` entries of the paper's
+    /// tables.
+    Timeout,
+    /// The attack terminated erroneously (e.g. its model became
+    /// inconsistent with the oracle — the Scan-Enable defense).
+    Failed(String),
+}
+
+impl AttackResult {
+    /// Whether the attack produced a key it believes in.
+    pub fn succeeded(&self) -> bool {
+        matches!(self, AttackResult::ExactKey(_) | AttackResult::ApproxKey { .. })
+    }
+
+    /// The recovered key, if any.
+    pub fn key(&self) -> Option<&[bool]> {
+        match self {
+            AttackResult::ExactKey(k) => Some(k),
+            AttackResult::ApproxKey { key, .. } => Some(key),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AttackResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackResult::ExactKey(k) => write!(f, "exact key ({} bits)", k.len()),
+            AttackResult::ApproxKey { key, est_error } => {
+                write!(f, "approx key ({} bits, est err {est_error:.4})", key.len())
+            }
+            AttackResult::Timeout => f.write_str("∞ (timeout)"),
+            AttackResult::Failed(why) => write!(f, "failed: {why}"),
+        }
+    }
+}
+
+/// Full attack report: result plus accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackReport {
+    /// Outcome.
+    pub result: AttackResult,
+    /// Wall-clock time spent.
+    pub wall: Duration,
+    /// DIP iterations executed.
+    pub iterations: usize,
+    /// Oracle queries issued.
+    pub oracle_queries: u64,
+    /// Whether the recovered key (if any) was verified functionally
+    /// equivalent against the *functional-mode* circuit — the ground-truth
+    /// check the attacker cannot run but our harness can.
+    pub functionally_correct: Option<bool>,
+}
+
+impl AttackReport {
+    /// Renders the runtime the way the paper's tables do: seconds, or `∞`.
+    pub fn table_cell(&self) -> String {
+        match self.result {
+            AttackResult::Timeout => "∞".to_string(),
+            _ => format!("{:.2}", self.wall.as_secs_f64()),
+        }
+    }
+}
+
+impl fmt::Display for AttackReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in {:.2}s, {} iterations, {} oracle queries",
+            self.result,
+            self.wall.as_secs_f64(),
+            self.iterations,
+            self.oracle_queries
+        )?;
+        if let Some(ok) = self.functionally_correct {
+            write!(f, ", functional: {}", if ok { "✓" } else { "✗" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_predicates() {
+        assert!(AttackResult::ExactKey(vec![true]).succeeded());
+        assert!(AttackResult::ApproxKey {
+            key: vec![],
+            est_error: 0.1
+        }
+        .succeeded());
+        assert!(!AttackResult::Timeout.succeeded());
+        assert!(!AttackResult::Failed("x".into()).succeeded());
+        assert_eq!(AttackResult::ExactKey(vec![true]).key(), Some(&[true][..]));
+        assert_eq!(AttackResult::Timeout.key(), None);
+    }
+
+    #[test]
+    fn table_cell_formats() {
+        let mut r = AttackReport {
+            result: AttackResult::Timeout,
+            wall: Duration::from_secs(3),
+            iterations: 5,
+            oracle_queries: 5,
+            functionally_correct: None,
+        };
+        assert_eq!(r.table_cell(), "∞");
+        r.result = AttackResult::ExactKey(vec![]);
+        r.wall = Duration::from_millis(1234);
+        assert_eq!(r.table_cell(), "1.23");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = AttackReport {
+            result: AttackResult::Failed("model inconsistent".into()),
+            wall: Duration::from_secs(1),
+            iterations: 2,
+            oracle_queries: 3,
+            functionally_correct: Some(false),
+        };
+        let s = r.to_string();
+        assert!(s.contains("model inconsistent"));
+        assert!(s.contains("✗"));
+    }
+}

@@ -1,0 +1,342 @@
+//! The oracle-guided SAT attack (Subramanyan et al., HOST 2015), updated
+//! with a CaDiCaL-class CDCL backend — the adversary of the paper's
+//! Tables I and III.
+//!
+//! The attack builds a structure-sharing *miter*: two key-dependent-cone
+//! copies of the locked netlist over shared data inputs and shared
+//! key-independent logic, constrained to disagree on at least one output.
+//! Each satisfying assignment yields a Distinguishing Input Pattern (DIP);
+//! the oracle's response is recorded as an I/O constraint on both key
+//! vectors, pruning every key inconsistent with the activated chip. When
+//! the miter goes UNSAT, all surviving keys are I/O-equivalent and one is
+//! extracted.
+
+use crate::miter::AttackInstance;
+use crate::oracle::{attacker_view, Oracle};
+use crate::report::{AttackReport, AttackResult};
+use ril_core::LockedCircuit;
+use ril_netlist::Netlist;
+use ril_sat::{Outcome, SolverConfig};
+use std::time::{Duration, Instant};
+
+/// SAT-attack configuration.
+#[derive(Debug, Clone)]
+pub struct SatAttackConfig {
+    /// Total wall-clock budget (the paper uses 5 days; we default to the
+    /// `RIL_TIMEOUT_SECS` environment variable or 60 s).
+    pub timeout: Option<Duration>,
+    /// Maximum DIP iterations.
+    pub max_iterations: Option<usize>,
+    /// Backend solver configuration.
+    pub solver: SolverConfig,
+    /// Add the one-layer one-hot re-encoding of every routing network
+    /// (Section IV-B preprocessing). Requires block metadata, i.e. the
+    /// [`run_sat_attack`] entry point.
+    pub one_hot_routing: bool,
+}
+
+impl Default for SatAttackConfig {
+    fn default() -> SatAttackConfig {
+        SatAttackConfig {
+            timeout: Some(default_timeout()),
+            max_iterations: None,
+            solver: SolverConfig::default(),
+            one_hot_routing: false,
+        }
+    }
+}
+
+/// The default attack timeout: `RIL_TIMEOUT_SECS` env var, or 60 seconds.
+pub fn default_timeout() -> Duration {
+    std::env::var("RIL_TIMEOUT_SECS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Duration::from_secs)
+        .unwrap_or(Duration::from_secs(60))
+}
+
+/// Runs the SAT attack against an attacker-view netlist and an oracle.
+///
+/// The report's `functionally_correct` is left `None` (the attacker cannot
+/// check it); use [`run_sat_attack`] for the full harness flow.
+///
+/// # Panics
+///
+/// Panics if the netlist has no key inputs or its data-input count does not
+/// match the oracle.
+pub fn sat_attack(nl: &Netlist, oracle: &mut Oracle, cfg: &SatAttackConfig) -> AttackReport {
+    sat_attack_inner(nl, oracle, cfg, None)
+}
+
+pub(crate) fn sat_attack_inner(
+    nl: &Netlist,
+    oracle: &mut Oracle,
+    cfg: &SatAttackConfig,
+    one_hot_meta: Option<&LockedCircuit>,
+) -> AttackReport {
+    let start = Instant::now();
+    let queries_before = oracle.queries();
+    let mut inst = AttackInstance::new(nl, cfg.solver.clone(), one_hot_meta);
+    assert_eq!(
+        inst.oracle_positions.len(),
+        oracle.input_width(),
+        "oracle/netlist input mismatch"
+    );
+    let mut iterations = 0usize;
+
+    let report = |result: AttackResult, iterations: usize, oq: u64| AttackReport {
+        result,
+        wall: start.elapsed(),
+        iterations,
+        oracle_queries: oq,
+        functionally_correct: None,
+    };
+
+    loop {
+        if let Some(t) = cfg.timeout {
+            match t.checked_sub(start.elapsed()) {
+                None => {
+                    return report(
+                        AttackResult::Timeout,
+                        iterations,
+                        oracle.queries() - queries_before,
+                    )
+                }
+                Some(left) => inst.solver.set_timeout(Some(left)),
+            }
+        }
+        if cfg.max_iterations.is_some_and(|m| iterations >= m) {
+            return report(
+                AttackResult::Timeout,
+                iterations,
+                oracle.queries() - queries_before,
+            );
+        }
+        match inst.solver.solve() {
+            Outcome::Unknown => {
+                return report(
+                    AttackResult::Timeout,
+                    iterations,
+                    oracle.queries() - queries_before,
+                )
+            }
+            Outcome::Unsat => break,
+            Outcome::Sat => {
+                iterations += 1;
+                let dip_full = inst.dip_from_model();
+                let response = oracle.query(&inst.oracle_dip(&dip_full));
+                if inst.add_dip(nl, &dip_full, &response).is_err() {
+                    return report(
+                        AttackResult::Failed(
+                            "oracle response contradicts key-independent logic \
+                             (model/oracle mismatch)"
+                                .into(),
+                        ),
+                        iterations,
+                        oracle.queries() - queries_before,
+                    );
+                }
+            }
+        }
+    }
+
+    // Miter UNSAT: every surviving key is I/O-equivalent. Extract one.
+    let budget = cfg
+        .timeout
+        .map(|t| t.saturating_sub(start.elapsed()).max(Duration::from_millis(100)));
+    match inst.extract_key(budget) {
+        Ok(Some(key)) => report(
+            AttackResult::ExactKey(key),
+            iterations,
+            oracle.queries() - queries_before,
+        ),
+        Ok(None) => report(
+            AttackResult::Failed(
+                "no key is consistent with the oracle's responses (model/oracle mismatch)".into(),
+            ),
+            iterations,
+            oracle.queries() - queries_before,
+        ),
+        Err(()) => report(
+            AttackResult::Timeout,
+            iterations,
+            oracle.queries() - queries_before,
+        ),
+    }
+}
+
+/// Full harness flow: builds the attacker view and oracle from a locked
+/// circuit, runs the SAT attack, and checks the recovered key for *true*
+/// functional equivalence (ground truth the attacker lacks).
+///
+/// # Errors
+///
+/// Propagates simulator construction failures.
+pub fn run_sat_attack(
+    locked: &LockedCircuit,
+    cfg: &SatAttackConfig,
+) -> Result<AttackReport, ril_netlist::NetlistError> {
+    let view = attacker_view(locked);
+    let mut oracle = Oracle::new(locked)?;
+    let meta = cfg.one_hot_routing.then_some(locked);
+    let mut report = sat_attack_inner(&view, &mut oracle, cfg, meta);
+    if let Some(key) = report.result.key() {
+        let ok = locked.equivalent_under_key(key, 32)?;
+        report.functionally_correct = Some(ok);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ril_core::baselines::{antisat_lock, sfll_lock, xor_lock};
+    use ril_core::{Obfuscator, RilBlockSpec};
+    use ril_netlist::generators;
+
+    fn fast_cfg() -> SatAttackConfig {
+        SatAttackConfig {
+            timeout: Some(Duration::from_secs(30)),
+            ..SatAttackConfig::default()
+        }
+    }
+
+    #[test]
+    fn breaks_xor_lock() {
+        let host = generators::adder(8);
+        let locked = xor_lock(&host, 12, 3).unwrap();
+        let report = run_sat_attack(&locked, &fast_cfg()).unwrap();
+        assert!(report.result.succeeded(), "{report}");
+        assert_eq!(report.functionally_correct, Some(true), "{report}");
+    }
+
+    #[test]
+    fn breaks_small_ril_blocks_without_scan_defense() {
+        let host = generators::adder(8);
+        let locked = Obfuscator::new(RilBlockSpec::size_2x2())
+            .blocks(2)
+            .seed(5)
+            .obfuscate(&host)
+            .unwrap();
+        let report = run_sat_attack(&locked, &fast_cfg()).unwrap();
+        assert!(report.result.succeeded(), "{report}");
+        assert_eq!(report.functionally_correct, Some(true), "{report}");
+        assert!(report.iterations >= 1);
+    }
+
+    #[test]
+    fn breaks_2x2_blocks_on_large_multiplier_host() {
+        // The structure-sharing miter keeps big hosts tractable: hardness
+        // must come from the key logic, not the host (Section III-A).
+        let host = generators::benchmark("c7552").unwrap();
+        let locked = Obfuscator::new(RilBlockSpec::size_2x2())
+            .blocks(2)
+            .seed(1001)
+            .obfuscate(&host)
+            .unwrap();
+        let report = run_sat_attack(&locked, &fast_cfg()).unwrap();
+        assert!(report.result.succeeded(), "{report}");
+        assert_eq!(report.functionally_correct, Some(true), "{report}");
+    }
+
+    #[test]
+    fn breaks_antisat_with_enough_iterations() {
+        let host = generators::adder(8);
+        let locked = antisat_lock(&host, 4, 7).unwrap();
+        let report = run_sat_attack(&locked, &fast_cfg()).unwrap();
+        assert!(report.result.succeeded(), "{report}");
+        assert_eq!(report.functionally_correct, Some(true));
+    }
+
+    #[test]
+    fn breaks_sfll_point_function() {
+        let host = generators::adder(8);
+        let locked = sfll_lock(&host, 6, 9).unwrap();
+        let report = run_sat_attack(&locked, &fast_cfg()).unwrap();
+        assert!(report.result.succeeded(), "{report}");
+        assert_eq!(report.functionally_correct, Some(true));
+    }
+
+    #[test]
+    fn scan_defense_defeats_the_attack() {
+        for seed in 0..20 {
+            let host = generators::adder(8);
+            let locked = Obfuscator::new(RilBlockSpec::size_2x2())
+                .blocks(2)
+                .scan_obfuscation(true)
+                .seed(seed)
+                .obfuscate(&host)
+                .unwrap();
+            let any_se = locked
+                .keys
+                .kinds()
+                .iter()
+                .zip(locked.keys.bits())
+                .any(|(k, &v)| matches!(k, ril_core::KeyBitKind::ScanEnable { .. }) && v);
+            if !any_se {
+                continue;
+            }
+            let report = run_sat_attack(&locked, &fast_cfg()).unwrap();
+            match report.result {
+                AttackResult::Failed(_) | AttackResult::Timeout => return,
+                _ => {
+                    assert_eq!(
+                        report.functionally_correct,
+                        Some(false),
+                        "seed {seed}: attack recovered a truly-correct key through the SE defense: {report}"
+                    );
+                    return;
+                }
+            }
+        }
+        panic!("no seed set an SE key");
+    }
+
+    #[test]
+    fn timeout_reports_infinity() {
+        let host = generators::multiplier(6);
+        let locked = Obfuscator::new(RilBlockSpec::size_8x8x8())
+            .blocks(2)
+            .seed(11)
+            .obfuscate(&host)
+            .unwrap();
+        let cfg = SatAttackConfig {
+            timeout: Some(Duration::from_millis(50)),
+            ..SatAttackConfig::default()
+        };
+        let report = run_sat_attack(&locked, &cfg).unwrap();
+        assert_eq!(report.result, AttackResult::Timeout);
+        assert_eq!(report.table_cell(), "∞");
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let host = generators::adder(8);
+        let locked = antisat_lock(&host, 8, 13).unwrap();
+        let cfg = SatAttackConfig {
+            max_iterations: Some(3),
+            timeout: Some(Duration::from_secs(30)),
+            ..SatAttackConfig::default()
+        };
+        let report = run_sat_attack(&locked, &cfg).unwrap();
+        assert_eq!(report.result, AttackResult::Timeout);
+        assert!(report.iterations <= 3);
+    }
+
+    #[test]
+    fn one_hot_preprocessing_still_finds_keys() {
+        let host = generators::adder(8);
+        let locked = Obfuscator::new(RilBlockSpec::size_2x2())
+            .blocks(2)
+            .seed(17)
+            .obfuscate(&host)
+            .unwrap();
+        let cfg = SatAttackConfig {
+            one_hot_routing: true,
+            ..fast_cfg()
+        };
+        let report = run_sat_attack(&locked, &cfg).unwrap();
+        assert!(report.result.succeeded(), "{report}");
+        assert_eq!(report.functionally_correct, Some(true));
+    }
+}

@@ -1,0 +1,41 @@
+//! Criterion bench behind Table IV: per-operation cost of the circuit-level
+//! MRAM LUT model (program, read, SE read) and the SRAM baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ril_mram::{measure_mram_profile, MramLut2, SramLut2};
+use std::hint::black_box;
+
+fn bench_lut_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lut_energy");
+    group.bench_function("mram_program", |b| {
+        let mut lut = MramLut2::with_defaults();
+        let mut tt = 0u8;
+        b.iter(|| {
+            tt = (tt + 1) & 0xf;
+            black_box(lut.program(black_box(tt)));
+        });
+    });
+    group.bench_function("mram_read", |b| {
+        let mut lut = MramLut2::with_defaults();
+        lut.program(0b0110);
+        b.iter(|| black_box(lut.read(black_box(true), black_box(false), false)));
+    });
+    group.bench_function("mram_read_scan_enabled", |b| {
+        let mut lut = MramLut2::with_defaults();
+        lut.program(0b0110);
+        lut.program_se(true);
+        b.iter(|| black_box(lut.read(black_box(true), black_box(false), true)));
+    });
+    group.bench_function("sram_read", |b| {
+        let mut lut = SramLut2::new();
+        lut.program(0b0110);
+        b.iter(|| black_box(lut.read(black_box(true), black_box(false))));
+    });
+    group.bench_function("table4_profile", |b| {
+        b.iter(|| black_box(measure_mram_profile()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lut_ops);
+criterion_main!(benches);

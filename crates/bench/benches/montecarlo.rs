@@ -1,0 +1,27 @@
+//! Criterion bench behind Fig. 6: Monte-Carlo process-variation campaigns
+//! at the paper's 100-instance scale and above.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ril_mram::run_monte_carlo;
+use std::hint::black_box;
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("montecarlo");
+    for instances in [100usize, 500] {
+        group.bench_with_input(
+            BenchmarkId::new("and_lut", instances),
+            &instances,
+            |b, &n| {
+                b.iter(|| {
+                    let report = run_monte_carlo(black_box(n), 0b1000, 7);
+                    assert_eq!(report.write_errors, 0);
+                    black_box(report)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_monte_carlo);
+criterion_main!(benches);

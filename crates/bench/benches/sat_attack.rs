@@ -1,0 +1,56 @@
+//! Criterion micro-bench behind Table I: SAT-attack time as the RIL-Block
+//! count and size grow (small configurations only — the big ones time out
+//! by design and are covered by the `table1` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ril_attacks::{run_sat_attack, SatAttackConfig};
+use ril_core::{Obfuscator, RilBlockSpec};
+use ril_netlist::generators;
+use std::time::Duration;
+
+fn bench_sat_attack(c: &mut Criterion) {
+    let host = generators::adder(10);
+    let mut group = c.benchmark_group("sat_attack");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(12));
+    for blocks in [1usize, 2, 3] {
+        let locked = Obfuscator::new(RilBlockSpec::size_2x2())
+            .blocks(blocks)
+            .seed(blocks as u64)
+            .obfuscate(&host)
+            .expect("lock");
+        group.bench_with_input(
+            BenchmarkId::new("2x2_blocks", blocks),
+            &locked,
+            |b, locked| {
+                b.iter(|| {
+                    let cfg = SatAttackConfig {
+                        timeout: Some(Duration::from_secs(20)),
+                        ..SatAttackConfig::default()
+                    };
+                    let report = run_sat_attack(locked, &cfg).expect("sim ok");
+                    assert!(report.result.succeeded());
+                });
+            },
+        );
+    }
+    // One larger block: 4x4 keeps runtimes bench-friendly.
+    let locked = Obfuscator::new(RilBlockSpec::parse("4x4").expect("valid spec"))
+        .seed(9)
+        .obfuscate(&host)
+        .expect("lock");
+    group.bench_function("4x4_single_block", |b| {
+        b.iter(|| {
+            let cfg = SatAttackConfig {
+                timeout: Some(Duration::from_secs(20)),
+                ..SatAttackConfig::default()
+            };
+            let report = run_sat_attack(&locked, &cfg).expect("sim ok");
+            assert!(report.result.succeeded());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat_attack);
+criterion_main!(benches);

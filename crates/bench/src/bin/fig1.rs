@@ -1,0 +1,113 @@
+//! Fig. 1 / Section II-B motivation — the same polymorphic devices encoded
+//! two ways for SAT simulation:
+//!
+//! * **MESO form**: 8 candidate gates + a 7-MUX selection tree (15 nodes,
+//!   3 key bits per device) — the original formulation of \[9\];
+//! * **LUT-2 form**: the 3-MUX select tree (4 key bits per device).
+//!
+//! The LUT-2 re-encoding both shrinks the instance and (as the paper
+//! observes) lets the SAT attack finish dramatically faster than the
+//! timeout-prone MESO runs reported in \[9\].
+
+use ril_attacks::{sat_attack, Oracle, SatAttackConfig};
+use ril_bench::{cell_timeout, print_table};
+use ril_core::key::{KeyBitKind, KeyStore};
+use ril_core::lut::{materialize_lut2, materialize_meso, meso_selector_for, MESO_FUNCTIONS};
+use ril_core::LockedCircuit;
+use ril_netlist::gate::truth_table_of;
+use ril_netlist::{generators, GateId, GateKind, Netlist};
+
+/// Replaces `count` MESO-representable gates using either encoding.
+fn lock_with_encoding(host: &Netlist, count: usize, meso: bool) -> LockedCircuit {
+    let mut nl = host.clone();
+    let mut keys = KeyStore::new();
+    let victims: Vec<GateId> = nl
+        .gates()
+        .filter(|(_, g)| {
+            g.inputs().len() == 2
+                && truth_table_of(g.kind())
+                    .map(|tt| MESO_FUNCTIONS.contains(&tt))
+                    .unwrap_or(false)
+        })
+        .map(|(id, _)| id)
+        .take(count)
+        .collect();
+    assert_eq!(victims.len(), count, "host lacks MESO-encodable gates");
+    for gid in victims {
+        let gate = nl.gate(gid);
+        let (a, b) = (gate.inputs()[0], gate.inputs()[1]);
+        let out = gate.output();
+        let tt = truth_table_of(gate.kind()).expect("checked");
+        nl.remove_gate(gid);
+        let new_out = if meso {
+            let sel = meso_selector_for(tt).expect("MESO function");
+            let mut knets = Vec::new();
+            for bit in 0..3 {
+                let net = nl
+                    .add_key_input(format!("keyinput{}", keys.len()))
+                    .expect("fresh name");
+                keys.push(KeyBitKind::Baseline, (sel >> bit) & 1 == 1);
+                knets.push(net);
+            }
+            materialize_meso(&mut nl, a, b, [knets[0], knets[1], knets[2]]).expect("build")
+        } else {
+            let mut knets = Vec::new();
+            for bit in 0..4 {
+                let net = nl
+                    .add_key_input(format!("keyinput{}", keys.len()))
+                    .expect("fresh name");
+                keys.push(KeyBitKind::Baseline, (tt >> bit) & 1 == 1);
+                knets.push(net);
+            }
+            materialize_lut2(&mut nl, a, b, [knets[0], knets[1], knets[2], knets[3]])
+                .expect("build")
+        };
+        nl.add_gate(GateKind::Buf, &[new_out], out).expect("re-drive");
+    }
+    LockedCircuit {
+        original: host.clone(),
+        netlist: nl,
+        keys,
+        spec: ril_core::RilBlockSpec::size_2x2(),
+        blocks: 0,
+        block_meta: Vec::new(),
+    }
+}
+
+fn main() {
+    let host = generators::benchmark("c7552").expect("known benchmark");
+    println!(
+        "Fig. 1 reproduction — host `{}`, timeout {:?}",
+        host.name(),
+        cell_timeout()
+    );
+    let mut rows = Vec::new();
+    for count in [4usize, 8, 16, 32] {
+        let mut row = vec![count.to_string()];
+        for meso in [true, false] {
+            let locked = lock_with_encoding(&host, count, meso);
+            locked.netlist.validate().expect("valid lock");
+            let mut oracle = Oracle::new(&locked).expect("oracle");
+            let cfg = SatAttackConfig {
+                timeout: Some(cell_timeout()),
+                ..SatAttackConfig::default()
+            };
+            let report = sat_attack(&locked.netlist, &mut oracle, &cfg);
+            let extra_gates = locked.netlist.gate_count() - host.gate_count();
+            row.push(format!("{} ({} extra gates)", report.table_cell(), extra_gates));
+        }
+        rows.push(row);
+        eprintln!("  {count} devices done");
+    }
+    print_table(
+        "Fig. 1 — SAT-attack seconds per encoding",
+        &["Devices", "MESO form (8 gates + 7 MUX)", "LUT-2 form (3 MUX)"],
+        &rows,
+    );
+    println!(
+        "\nKey-space note: a 2-input LUT covers all 16 functions (Table II) with 4\n\
+         key bits, vs the MESO device's 8 functions with 3 bits — yet its SAT\n\
+         encoding is 5× smaller (3 nodes vs 15), which is what erases the\n\
+         MESO formulation's apparent SAT-hardness."
+    );
+}

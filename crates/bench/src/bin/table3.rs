@@ -1,0 +1,67 @@
+//! Table III — SAT seconds for 1/2/3 8×8×8 RIL-Blocks on the ISCAS-89 /
+//! ITC-99 and CEP benchmark set, plus the AppSAT column under the armed
+//! Scan-Enable circuitry (✗ = attack fails, as the paper reports for every
+//! circuit).
+
+use ril_attacks::{run_appsat, AppSatConfig};
+use ril_bench::{attack_cell, cell_timeout, defense_held, lock_with_armed_se, print_table};
+use ril_core::RilBlockSpec;
+use ril_netlist::generators;
+
+/// Paper Table III (seconds; None = ∞) per benchmark for 1/2/3 blocks.
+const PAPER: &[(&str, Option<f64>, Option<f64>, Option<f64>)] = &[
+    ("b15", Some(124.25), Some(546.2), None),
+    ("s35932", Some(105.1), Some(1864.2), None),
+    ("s38584", Some(345.2), None, None),
+    ("b20", Some(240.4), Some(2454.26), None),
+    ("aes", Some(1060.56), None, None),
+    ("sha256", Some(846.87), None, None),
+    ("md5", Some(1450.1), None, None),
+    ("gps", None, None, None),
+];
+
+fn main() {
+    println!(
+        "Table III reproduction — timeout {:?} per cell (paper: 5 days)",
+        cell_timeout()
+    );
+    let spec = RilBlockSpec::size_8x8x8();
+    let mut rows = Vec::new();
+    for &(name, p1, p2, p3) in PAPER {
+        let host = generators::benchmark(name).expect("known benchmark");
+        eprintln!("  {name}: {}", host.stats());
+        let mut row = vec![name.to_string()];
+        for (blocks, paper) in [(1usize, p1), (2, p2), (3, p3)] {
+            let measured = attack_cell(&host, spec, blocks, 7 + blocks as u64);
+            let p = paper.map(|s| s.to_string()).unwrap_or_else(|| "∞".into());
+            row.push(format!("{measured} (paper {p})"));
+        }
+        // AppSAT with the SE circuitry armed — the ✗ column.
+        let appsat_cell = match lock_with_armed_se(&host, spec, 1, 100) {
+            None => "n/a".to_string(),
+            Some(locked) => {
+                let cfg = AppSatConfig {
+                    timeout: Some(cell_timeout()),
+                    ..AppSatConfig::default()
+                };
+                match run_appsat(&locked, &cfg) {
+                    Err(e) => format!("err:{e}"),
+                    Ok(report) => {
+                        if defense_held(&report.result, report.functionally_correct) {
+                            "✗ (paper ✗)".to_string()
+                        } else {
+                            "BROKE DEFENSE (paper ✗)".to_string()
+                        }
+                    }
+                }
+            }
+        };
+        row.push(appsat_cell);
+        rows.push(row);
+    }
+    print_table(
+        "Table III — SAT seconds with N 8x8x8 RIL-Blocks, measured (paper)",
+        &["Circuit", "1 block", "2 blocks", "3 blocks", "AppSAT success"],
+        &rows,
+    );
+}

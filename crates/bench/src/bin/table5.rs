@@ -1,0 +1,92 @@
+//! Table V — attack-resiliency matrix: every attack of the suite against
+//! every locking scheme, measured by actually running the attacks. ✓ means
+//! the defense held (timeout / failure / functionally-wrong key), ✗ means
+//! the attack recovered a working key or a near-equivalent circuit.
+
+use ril_attacks::{
+    removal_attack, run_appsat, run_sat_attack, scansat_attack, AppSatConfig, SatAttackConfig,
+};
+use ril_bench::{cell_timeout, defense_held, lock_with_armed_se, print_table};
+use ril_core::baselines::{antisat_lock, sfll_lock, xor_lock};
+use ril_core::{LockedCircuit, Obfuscator, RilBlockSpec};
+use ril_netlist::generators;
+use ril_sca::{key_recovery_rate, LutTechnology};
+
+fn mark(held: bool) -> String {
+    if held { "✓".into() } else { "✗".into() }
+}
+
+fn main() {
+    println!(
+        "Table V reproduction — attacks actually executed, timeout {:?} per cell",
+        cell_timeout()
+    );
+    let host = generators::adder(12);
+
+    let schemes: Vec<(&str, LockedCircuit)> = vec![
+        // Wide point-function keys ⇒ exponentially many DIPs (the SFLL /
+        // Anti-SAT SAT-resistance the paper credits them with).
+        ("SFLL", sfll_lock(&host, 14, 1).expect("host large enough")),
+        ("Anti-SAT (CAS-class)", antisat_lock(&host, 12, 2).expect("host large enough")),
+        ("XOR (EPIC)", xor_lock(&generators::adder(8), 12, 3).expect("host large enough")),
+        (
+            "RIL (static)",
+            // The Table-I-hard configuration: ten 8x8x8 blocks on the
+            // c7552-class host.
+            Obfuscator::new(RilBlockSpec::size_8x8x8())
+                .blocks(10)
+                .seed(4)
+                .obfuscate(&generators::benchmark("c7552").expect("known benchmark"))
+                .expect("host large enough"),
+        ),
+        (
+            "RIL + SE",
+            lock_with_armed_se(&generators::multiplier(6), RilBlockSpec::size_2x2(), 3, 40)
+                .expect("armed lock"),
+        ),
+    ];
+
+    let sat_cfg = SatAttackConfig {
+        timeout: Some(cell_timeout()),
+        ..SatAttackConfig::default()
+    };
+    let app_cfg = AppSatConfig {
+        timeout: Some(cell_timeout()),
+        error_threshold: 0.02,
+        ..AppSatConfig::default()
+    };
+
+    let mut rows = Vec::new();
+    for (name, locked) in &schemes {
+        eprintln!("  scheme {name}");
+        let sat = run_sat_attack(locked, &sat_cfg).expect("sim ok");
+        let app = run_appsat(locked, &app_cfg).expect("sim ok");
+        let rem = removal_attack(locked, 32, 5).expect("sim ok");
+        let scan = scansat_attack(locked, &sat_cfg).expect("sim ok");
+        // P-SCA: the LUT technology decides; RIL uses MRAM, baselines are
+        // plain CMOS keys modeled as SRAM-class storage.
+        let psca_rate = if name.starts_with("RIL") {
+            key_recovery_rate(LutTechnology::Mram, 14, 400, 0.5, 9)
+        } else {
+            key_recovery_rate(LutTechnology::Sram, 14, 400, 0.5, 9)
+        };
+        rows.push(vec![
+            name.to_string(),
+            mark(defense_held(&sat.result, sat.functionally_correct)),
+            mark(defense_held(&app.result, app.functionally_correct)),
+            mark(!rem.succeeded(0.01)),
+            mark(defense_held(&scan.result, scan.functionally_correct)),
+            mark(psca_rate < 0.3),
+        ]);
+    }
+    print_table(
+        "Table V — does the DEFENSE hold? (✓ = attack defeated)",
+        &["Scheme", "SAT", "AppSAT", "Removal", "ScanSAT", "P-SCA"],
+        &rows,
+    );
+    println!(
+        "\nPaper's qualitative claim: only the proposed RIL-Blocks (with SE and MRAM)\n\
+         resist the whole suite; point-function locks fall to removal/AppSAT-class\n\
+         attacks and none of the baselines addresses P-SCA."
+    );
+}

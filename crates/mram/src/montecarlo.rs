@@ -1,0 +1,368 @@
+//! Monte-Carlo process-variation analysis — regenerates the paper's Fig. 6.
+//!
+//! Each MC instance draws per-device Gaussian perturbations with the
+//! paper's Section IV-D spreads: 1 % on MTJ dimensions, 10 % on transistor
+//! threshold voltage and 1 % on transistor dimensions. The instance's LUT
+//! is programmed (AND by default), read at every minterm, and the read
+//! currents, read powers and device resistances are collected into
+//! distributions; write and read errors are counted.
+
+use crate::cell::{CellCircuit, ComplementaryCell};
+use crate::lut::MramLut2;
+use crate::mtj::MtjParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Process-variation spreads (1 σ, relative).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// MTJ dimension σ (paper: 1 %).
+    pub mtj_dimension: f64,
+    /// Transistor threshold-voltage σ (paper: 10 %) — affects access/driver
+    /// resistances.
+    pub vth: f64,
+    /// Transistor dimension σ (paper: 1 %).
+    pub mos_dimension: f64,
+}
+
+impl Default for VariationModel {
+    fn default() -> VariationModel {
+        VariationModel {
+            mtj_dimension: 0.01,
+            vth: 0.10,
+            mos_dimension: 0.01,
+        }
+    }
+}
+
+/// Summary of a sampled distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    /// Raw samples.
+    pub samples: Vec<f64>,
+}
+
+impl Distribution {
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Sample standard deviation (population).
+    pub fn std_dev(&self) -> f64 {
+        let m = self.mean();
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        (self.samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / self.samples.len() as f64)
+            .sqrt()
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Histogram over `bins` equal-width buckets spanning [min, max].
+    pub fn histogram(&self, bins: usize) -> Vec<(f64, usize)> {
+        let (lo, hi) = (self.min(), self.max());
+        let width = ((hi - lo) / bins as f64).max(1e-30);
+        let mut counts = vec![0usize; bins];
+        for &x in &self.samples {
+            let b = (((x - lo) / width) as usize).min(bins - 1);
+            counts[b] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (lo + (i as f64 + 0.5) * width, c))
+            .collect()
+    }
+}
+
+/// Results of a Monte-Carlo campaign (paper Fig. 6 data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloReport {
+    /// Instances simulated.
+    pub instances: usize,
+    /// Read currents when sensing logic 0 (µA).
+    pub read0_current_ua: Distribution,
+    /// Read currents when sensing logic 1 (µA).
+    pub read1_current_ua: Distribution,
+    /// Read powers when sensing logic 0 (µW).
+    pub read0_power_uw: Distribution,
+    /// Read powers when sensing logic 1 (µW).
+    pub read1_power_uw: Distribution,
+    /// Parallel-state resistances across all sampled MTJs (Ω).
+    pub r_parallel: Distribution,
+    /// Anti-parallel-state resistances across all sampled MTJs (Ω).
+    pub r_antiparallel: Distribution,
+    /// Write failures observed.
+    pub write_errors: usize,
+    /// Read failures observed (wrong value or insufficient margin).
+    pub read_errors: usize,
+    /// Total write operations.
+    pub writes: usize,
+    /// Total read operations.
+    pub reads: usize,
+}
+
+impl MonteCarloReport {
+    /// Write-error rate.
+    pub fn write_error_rate(&self) -> f64 {
+        if self.writes == 0 {
+            return 0.0;
+        }
+        self.write_errors as f64 / self.writes as f64
+    }
+
+    /// Read-error rate.
+    pub fn read_error_rate(&self) -> f64 {
+        if self.reads == 0 {
+            return 0.0;
+        }
+        self.read_errors as f64 / self.reads as f64
+    }
+
+    /// Relative difference of mean read-0 vs read-1 power — the P-SCA
+    /// leakage figure (paper: "almost identical").
+    pub fn power_symmetry_gap(&self) -> f64 {
+        let p0 = self.read0_power_uw.mean();
+        let p1 = self.read1_power_uw.mean();
+        (p1 - p0).abs() / p0.max(1e-30)
+    }
+}
+
+fn gauss<R: Rng>(rng: &mut R) -> f64 {
+    // Box–Muller.
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws one process-varied MTJ parameter set.
+pub fn varied_mtj<R: Rng>(nominal: &MtjParams, var: &VariationModel, rng: &mut R) -> MtjParams {
+    MtjParams {
+        diameter_nm: nominal.diameter_nm * (1.0 + var.mtj_dimension * gauss(rng)),
+        // Oxide-thickness variation folds into the RA product.
+        ra_ohm_um2: nominal.ra_ohm_um2 * (1.0 + var.mtj_dimension * gauss(rng)),
+        tmr: nominal.tmr,
+        critical_current_ua: nominal.critical_current_ua * (1.0 + var.mtj_dimension * gauss(rng)),
+        switch_time_ns: nominal.switch_time_ns,
+    }
+}
+
+/// Draws one process-varied peripheral-circuit operating point: Vth
+/// variation shifts the access/driver resistances, W/L variation scales
+/// them.
+pub fn varied_circuit<R: Rng>(
+    nominal: &CellCircuit,
+    var: &VariationModel,
+    rng: &mut R,
+) -> CellCircuit {
+    // ΔVth = 10 % σ translates to a drive-resistance shift of roughly
+    // ΔVth / (Vgs − Vth) ≈ 0.25 × the relative Vth spread at our operating
+    // point; dimension spread enters linearly.
+    let vth_effect = 0.25 * var.vth * gauss(rng);
+    let dim_effect = var.mos_dimension * gauss(rng);
+    let scale = (1.0 + vth_effect + dim_effect).max(0.2);
+    CellCircuit {
+        r_access: nominal.r_access * scale,
+        r_driver: nominal.r_driver * (1.0 + 0.25 * var.vth * gauss(rng)).max(0.2),
+        ..nominal.clone()
+    }
+}
+
+/// Builds one fully process-varied LUT instance.
+pub fn varied_lut<R: Rng>(
+    nominal_mtj: &MtjParams,
+    nominal_circuit: &CellCircuit,
+    var: &VariationModel,
+    rng: &mut R,
+) -> MramLut2 {
+    let mut cell = || {
+        ComplementaryCell::new(
+            varied_mtj(nominal_mtj, var, rng),
+            varied_mtj(nominal_mtj, var, rng),
+            varied_circuit(nominal_circuit, var, rng),
+        )
+    };
+    let cells = [cell(), cell(), cell(), cell()];
+    let se = cell();
+    MramLut2::with_cells(cells, se)
+}
+
+/// Runs the paper's Fig. 6 campaign: `instances` process-varied 2-input
+/// LUTs programmed to `truth_table` (AND in the paper), each read at all
+/// four minterms.
+pub fn run_monte_carlo(instances: usize, truth_table: u8, seed: u64) -> MonteCarloReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nominal_mtj = MtjParams::default();
+    let nominal_circuit = CellCircuit::default();
+    let var = VariationModel::default();
+
+    let mut report = MonteCarloReport {
+        instances,
+        read0_current_ua: Distribution { samples: vec![] },
+        read1_current_ua: Distribution { samples: vec![] },
+        read0_power_uw: Distribution { samples: vec![] },
+        read1_power_uw: Distribution { samples: vec![] },
+        r_parallel: Distribution { samples: vec![] },
+        r_antiparallel: Distribution { samples: vec![] },
+        write_errors: 0,
+        read_errors: 0,
+        writes: 0,
+        reads: 0,
+    };
+
+    for _ in 0..instances {
+        let mut lut = varied_lut(&nominal_mtj, &nominal_circuit, &var, &mut rng);
+        let ok = lut.program(truth_table);
+        report.writes += 4;
+        if !ok {
+            report.write_errors += 1;
+            continue;
+        }
+        for a in [false, true] {
+            for b in [false, true] {
+                let idx = (a as u8) | ((b as u8) << 1);
+                let expect = (truth_table >> idx) & 1 == 1;
+                let r = lut.read(a, b, false);
+                report.reads += 1;
+                if r.out != expect || !r.reliable {
+                    report.read_errors += 1;
+                }
+                if expect {
+                    report.read1_current_ua.samples.push(r.current_ua);
+                    report.read1_power_uw.samples.push(r.power_uw);
+                } else {
+                    report.read0_current_ua.samples.push(r.current_ua);
+                    report.read0_power_uw.samples.push(r.power_uw);
+                }
+            }
+        }
+        // Collect device resistances from all five cells.
+        for cell in lut_cells(&lut) {
+            let (p, ap) = cell;
+            report.r_parallel.samples.push(p);
+            report.r_antiparallel.samples.push(ap);
+        }
+    }
+    report
+}
+
+/// Extracts the (R_P, R_AP) state-resistance pair of every MTJ in the LUT.
+fn lut_cells(lut: &MramLut2) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for cell in lut.cells_for_analysis() {
+        out.push((
+            cell.main().params().r_parallel(),
+            cell.main().params().r_antiparallel(),
+        ));
+        out.push((
+            cell.complement().params().r_parallel(),
+            cell.complement().params().r_antiparallel(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hundred_instances_match_paper_error_rates() {
+        // Paper: 100 error-free MC instances, < 0.01 % read/write errors.
+        let report = run_monte_carlo(100, 0b1000, 7);
+        assert_eq!(report.instances, 100);
+        assert_eq!(report.write_errors, 0, "write errors under nominal PV");
+        assert_eq!(report.read_errors, 0, "read errors under nominal PV");
+        assert_eq!(report.reads, 400);
+    }
+
+    #[test]
+    fn read_power_is_symmetric_across_values() {
+        let report = run_monte_carlo(100, 0b1000, 11);
+        // Fig. 6: read-0 and read-1 power almost identical.
+        assert!(
+            report.power_symmetry_gap() < 0.01,
+            "gap {}",
+            report.power_symmetry_gap()
+        );
+    }
+
+    #[test]
+    fn resistance_distributions_are_separated() {
+        let report = run_monte_carlo(100, 0b1000, 13);
+        // R_AP and R_P clusters must not overlap (wide read margin).
+        assert!(report.r_antiparallel.min() > report.r_parallel.max());
+        // Spread reflects the 1 % dimension sigma (few % of the mean).
+        let rel = report.r_parallel.std_dev() / report.r_parallel.mean();
+        assert!(rel > 0.001 && rel < 0.1, "relative spread {rel}");
+    }
+
+    #[test]
+    fn distribution_statistics() {
+        let d = Distribution {
+            samples: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        assert!((d.mean() - 2.5).abs() < 1e-12);
+        assert!((d.std_dev() - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(d.min(), 1.0);
+        assert_eq!(d.max(), 4.0);
+        let h = d.histogram(2);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].1 + h[1].1, 4);
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let a = run_monte_carlo(20, 0b0110, 5);
+        let b = run_monte_carlo(20, 0b0110, 5);
+        assert_eq!(a.read0_power_uw.samples, b.read0_power_uw.samples);
+        let c = run_monte_carlo(20, 0b0110, 6);
+        assert_ne!(a.read0_power_uw.samples, c.read0_power_uw.samples);
+    }
+
+    #[test]
+    fn extreme_variation_produces_errors() {
+        // Sanity: the error-detection machinery does fire under absurd PV.
+        let mut rng = StdRng::seed_from_u64(3);
+        let var = VariationModel {
+            mtj_dimension: 0.6,
+            vth: 2.0,
+            mos_dimension: 0.6,
+        };
+        let nominal_mtj = MtjParams::default();
+        let nominal_circuit = CellCircuit::default();
+        let mut any_error = false;
+        for _ in 0..50 {
+            let mut lut = varied_lut(&nominal_mtj, &nominal_circuit, &var, &mut rng);
+            let ok = lut.program(0b1000);
+            if !ok {
+                any_error = true;
+                continue;
+            }
+            for a in [false, true] {
+                for b in [false, true] {
+                    let idx = (a as u8) | ((b as u8) << 1);
+                    let expect = (0b1000 >> idx) & 1 == 1;
+                    let r = lut.read(a, b, false);
+                    if r.out != expect || !r.reliable {
+                        any_error = true;
+                    }
+                }
+            }
+        }
+        assert!(any_error, "600 % Vth sigma should break something");
+    }
+}

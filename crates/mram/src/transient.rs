@@ -1,0 +1,407 @@
+//! Transient waveform simulation — regenerates the paper's Fig. 5.
+//!
+//! An event-based engine: a schedule of LUT operations (write a function,
+//! read all minterms, reprogram, update the SE cell) is executed against a
+//! circuit-level [`MramLut2`], and every control/data signal is sampled on
+//! a fixed time grid with RC-style exponential edges. The result is a
+//! multi-signal [`WaveformTrace`] that can be printed as CSV or rendered as
+//! ASCII art — the behavioural equivalent of the paper's HSPICE plots.
+
+use crate::lut::{truth_table_to_keys, MramLut2};
+
+/// A named analog-ish waveform sampled on a shared time grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveformTrace {
+    /// Time stamps (ns).
+    pub time_ns: Vec<f64>,
+    /// Signal name → sample vector, in insertion order.
+    pub signals: Vec<(String, Vec<f64>)>,
+}
+
+impl WaveformTrace {
+    /// Looks up a signal by name.
+    pub fn signal(&self, name: &str) -> Option<&[f64]> {
+        self.signals
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Serializes the trace as CSV (`time_ns` first column).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_ns");
+        for (name, _) in &self.signals {
+            out.push(',');
+            out.push_str(name);
+        }
+        out.push('\n');
+        for (i, t) in self.time_ns.iter().enumerate() {
+            out.push_str(&format!("{t:.3}"));
+            for (_, samples) in &self.signals {
+                out.push_str(&format!(",{:.4}", samples[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a compact ASCII view (one row per signal, `▁`/`█` digital
+    /// levels) for terminal inspection.
+    pub fn to_ascii(&self, columns: usize) -> String {
+        let mut out = String::new();
+        let n = self.time_ns.len();
+        if n == 0 {
+            return out;
+        }
+        let step = (n / columns.max(1)).max(1);
+        for (name, samples) in &self.signals {
+            let vmax = samples.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+            out.push_str(&format!("{name:>8} "));
+            for i in (0..n).step_by(step) {
+                let frac = samples[i] / vmax;
+                out.push(match frac {
+                    f if f > 0.75 => '█',
+                    f if f > 0.5 => '▆',
+                    f if f > 0.25 => '▃',
+                    _ => '▁',
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One step of the Fig. 5 schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LutOp {
+    /// Program the LUT truth table (shifts 4 key bits through `BL`).
+    Write(u8),
+    /// Program the SE key cell.
+    WriteSe(bool),
+    /// Read with inputs `(a, b)` and scan-enable level.
+    Read {
+        /// Input A.
+        a: bool,
+        /// Input B.
+        b: bool,
+        /// Scan-enable signal level during the read.
+        se: bool,
+    },
+    /// Idle (standby) gap.
+    Idle,
+}
+
+/// Builder/engine for transient simulations.
+#[derive(Debug, Clone)]
+pub struct TransientSim {
+    /// Sampling step (ns).
+    pub dt_ns: f64,
+    /// Duration of each schedule slot (ns).
+    pub slot_ns: f64,
+    /// Edge time constant (ns) for the exponential transitions.
+    pub tau_ns: f64,
+    /// Logic-high level (V).
+    pub vdd: f64,
+}
+
+impl Default for TransientSim {
+    fn default() -> TransientSim {
+        TransientSim {
+            dt_ns: 0.1,
+            slot_ns: 2.0,
+            tau_ns: 0.15,
+            vdd: 0.8,
+        }
+    }
+}
+
+impl TransientSim {
+    /// Runs `ops` against `lut`, returning the sampled waveforms for
+    /// `WE`, `RE`, `SE`, `KWE`, `A`, `B`, `BL`, `O`, `OUT`, the two
+    /// MTJ-state rails of cell 3 (`MTJ3`, `MTJ3b`), and the supply-power
+    /// rail `PWR_uW` (µW — what a P-SCA adversary probes).
+    pub fn run(&self, lut: &mut MramLut2, ops: &[LutOp]) -> WaveformTrace {
+        let names = [
+            "WE", "RE", "SE", "KWE", "A", "B", "BL", "O", "OUT", "MTJ3", "MTJ3b", "PWR_uW",
+        ];
+        let mut levels: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+        let push_slot = |targets: [f64; 12], levels: &mut Vec<Vec<f64>>| {
+            for (sig, &target) in levels.iter_mut().zip(targets.iter()) {
+                sig.push(target);
+            }
+        };
+        for &op in ops {
+            let mtj3 = lut.stored_truth_table() >> 3 & 1;
+            match op {
+                LutOp::Write(tt) => {
+                    // 4 sub-slots, one per key bit, in Table II order.
+                    let keys = truth_table_to_keys(tt);
+                    let wlog_before = lut.write_log().len();
+                    for (k, &key) in keys.iter().enumerate() {
+                        // Address AB = 11, 10, 01, 00.
+                        let (a, b) = [(1.0, 1.0), (1.0, 0.0), (0.0, 1.0), (0.0, 0.0)][k];
+                        push_slot(
+                            [
+                                self.vdd,
+                                0.0,
+                                0.0,
+                                0.0,
+                                a * self.vdd,
+                                b * self.vdd,
+                                if key { self.vdd } else { 0.0 },
+                                0.0,
+                                0.0,
+                                mtj3 as f64 * self.vdd,
+                                (1 - mtj3) as f64 * self.vdd,
+                                0.0, // patched below from the write log
+                            ],
+                            &mut levels,
+                        );
+                    }
+                    lut.program(tt);
+                    // Back-fill the power rail from the actual write pulses.
+                    let pwr = levels.len() - 1;
+                    let slots = levels[pwr].len();
+                    for (i, w) in lut.write_log()[wlog_before..].iter().enumerate() {
+                        let power_uw = w.energy_fj / 0.94; // fJ / ns = µW
+                        levels[pwr][slots - 4 + i] = power_uw;
+                    }
+                }
+                LutOp::WriteSe(key) => {
+                    let wlog_before = lut.write_log().len();
+                    push_slot(
+                        [
+                            0.0,
+                            0.0,
+                            0.0,
+                            self.vdd,
+                            0.0,
+                            0.0,
+                            if key { self.vdd } else { 0.0 },
+                            0.0,
+                            0.0,
+                            mtj3 as f64 * self.vdd,
+                            (1 - mtj3) as f64 * self.vdd,
+                            0.0, // patched below
+                        ],
+                        &mut levels,
+                    );
+                    lut.program_se(key);
+                    let pwr = levels.len() - 1;
+                    let slots = levels[pwr].len();
+                    if let Some(w) = lut.write_log()[wlog_before..].first() {
+                        levels[pwr][slots - 1] = w.energy_fj / 0.94;
+                    }
+                }
+                LutOp::Read { a, b, se } => {
+                    let r = lut.read(a, b, se);
+                    push_slot(
+                        [
+                            0.0,
+                            self.vdd,
+                            if se { self.vdd } else { 0.0 },
+                            0.0,
+                            if a { self.vdd } else { 0.0 },
+                            if b { self.vdd } else { 0.0 },
+                            0.0,
+                            if r.o_internal { self.vdd } else { 0.0 },
+                            if r.out { self.vdd } else { 0.0 },
+                            mtj3 as f64 * self.vdd,
+                            (1 - mtj3) as f64 * self.vdd,
+                            r.power_uw,
+                        ],
+                        &mut levels,
+                    );
+                }
+                LutOp::Idle => {
+                    // Standby: attojoule-scale retention power only.
+                    let standby_uw = lut.standby_energy_aj(1.0) * 1e-3;
+                    push_slot(
+                        [
+                            0.0,
+                            0.0,
+                            0.0,
+                            0.0,
+                            0.0,
+                            0.0,
+                            0.0,
+                            0.0,
+                            0.0,
+                            mtj3 as f64 * self.vdd,
+                            (1 - mtj3) as f64 * self.vdd,
+                            standby_uw,
+                        ],
+                        &mut levels,
+                    );
+                }
+            }
+        }
+        // Expand slot targets into exponentially-edged samples.
+        let samples_per_slot = (self.slot_ns / self.dt_ns).round() as usize;
+        let total_slots = levels[0].len();
+        let mut time_ns = Vec::with_capacity(total_slots * samples_per_slot);
+        let mut sampled: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+        for slot in 0..total_slots {
+            for s in 0..samples_per_slot {
+                let t_in_slot = s as f64 * self.dt_ns;
+                time_ns.push(slot as f64 * self.slot_ns + t_in_slot);
+                for (sig_idx, sig_levels) in levels.iter().enumerate() {
+                    let target = sig_levels[slot];
+                    let prev = if slot == 0 { 0.0 } else { sig_levels[slot - 1] };
+                    let v = target + (prev - target) * (-t_in_slot / self.tau_ns).exp();
+                    sampled[sig_idx].push(v);
+                }
+            }
+        }
+        WaveformTrace {
+            time_ns,
+            signals: names
+                .iter()
+                .map(|s| s.to_string())
+                .zip(sampled)
+                .collect(),
+        }
+    }
+
+    /// The paper's Fig. 5 schedule: program AND, read all four minterms,
+    /// reprogram to NOR, read again, then set the SE key and read under
+    /// scan-enable (showing the inverted `OUT`).
+    pub fn figure5_schedule() -> Vec<LutOp> {
+        let mut ops = vec![LutOp::Write(0b1000)]; // AND
+        for (a, b) in [(false, false), (true, false), (false, true), (true, true)] {
+            ops.push(LutOp::Read { a, b, se: false });
+        }
+        ops.push(LutOp::Idle);
+        ops.push(LutOp::Write(0b0001)); // NOR
+        for (a, b) in [(false, false), (true, false), (false, true), (true, true)] {
+            ops.push(LutOp::Read { a, b, se: false });
+        }
+        ops.push(LutOp::Idle);
+        ops.push(LutOp::WriteSe(true));
+        for (a, b) in [(false, false), (true, true)] {
+            ops.push(LutOp::Read { a, b, se: true });
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_waveforms_show_and_then_nor() {
+        let sim = TransientSim::default();
+        let mut lut = MramLut2::with_defaults();
+        let trace = sim.run(&mut lut, &TransientSim::figure5_schedule());
+        let out = trace.signal("OUT").unwrap();
+        let re = trace.signal("RE").unwrap();
+        let spb = (sim.slot_ns / sim.dt_ns) as usize;
+        // Sample each read slot near its end (settled value).
+        let slot_val = |slot: usize| out[slot * spb + spb - 1] > sim.vdd / 2.0;
+        let slot_re = |slot: usize| re[slot * spb + spb - 1] > sim.vdd / 2.0;
+        // Slots 0..4 = write AND (4 sub-slots), 4..8 = reads 00,10,01,11.
+        assert!(!slot_re(0));
+        assert!(slot_re(4));
+        assert_eq!(slot_val(4), false); // AND(0,0)
+        assert_eq!(slot_val(5), false); // AND(1,0)
+        assert_eq!(slot_val(6), false); // AND(0,1)
+        assert_eq!(slot_val(7), true); // AND(1,1)
+        // Slot 8 idle; 9..13 write NOR; reads at 13..17.
+        assert_eq!(slot_val(13), true); // NOR(0,0)
+        assert_eq!(slot_val(14), false);
+        assert_eq!(slot_val(15), false);
+        assert_eq!(slot_val(16), false); // NOR(1,1)
+        // Slot 17 idle, 18 = write SE, 19..21 scan reads (inverted NOR).
+        assert_eq!(slot_val(19), false); // !NOR(0,0)
+        assert_eq!(slot_val(20), true); // !NOR(1,1)
+    }
+
+    #[test]
+    fn edges_are_exponential_not_instant() {
+        let sim = TransientSim::default();
+        let mut lut = MramLut2::with_defaults();
+        let trace = sim.run(
+            &mut lut,
+            &[
+                LutOp::Idle,
+                LutOp::Read {
+                    a: false,
+                    b: false,
+                    se: false,
+                },
+            ],
+        );
+        let re = trace.signal("RE").unwrap();
+        let spb = (sim.slot_ns / sim.dt_ns) as usize;
+        // First sample of the read slot is mid-transition, settles later.
+        // (sample 0 of the slot is exactly at the old level.)
+        assert!(re[spb + 1] > 0.0 && re[spb + 1] < sim.vdd);
+        assert!(re[2 * spb - 1] > 0.95 * sim.vdd);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let sim = TransientSim::default();
+        let mut lut = MramLut2::with_defaults();
+        let trace = sim.run(&mut lut, &[LutOp::Idle, LutOp::Idle]);
+        let csv = trace.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("time_ns,WE,RE,SE"));
+        assert_eq!(lines.count(), trace.time_ns.len());
+    }
+
+    #[test]
+    fn ascii_render_one_row_per_signal() {
+        let sim = TransientSim::default();
+        let mut lut = MramLut2::with_defaults();
+        let trace = sim.run(&mut lut, &TransientSim::figure5_schedule());
+        let art = trace.to_ascii(60);
+        assert_eq!(art.lines().count(), trace.signals.len());
+    }
+
+    #[test]
+    fn power_rail_distinguishes_write_read_and_standby() {
+        let sim = TransientSim::default();
+        let mut lut = MramLut2::with_defaults();
+        let trace = sim.run(&mut lut, &TransientSim::figure5_schedule());
+        let pwr = trace.signal("PWR_uW").unwrap();
+        let spb = (sim.slot_ns / sim.dt_ns) as usize;
+        let settle = |slot: usize| pwr[slot * spb + spb - 1];
+        // Slot 0 = write pulse, slot 4 = read, slot 8 = idle.
+        let write_p = settle(0);
+        let read_p = settle(4);
+        let idle_p = settle(8);
+        assert!(write_p < read_p * 10.0 && write_p > 0.0, "write {write_p}");
+        assert!(read_p > 10.0 * idle_p, "read {read_p} vs idle {idle_p}");
+        // P-SCA symmetry: reads of 0 and 1 draw nearly the same power
+        // (slot 13 = NOR(0,0) reads 1, slot 16 = NOR(1,1) reads 0).
+        let p1 = settle(13);
+        let p0 = settle(16);
+        assert!((p1 - p0).abs() / p0 < 0.01, "asymmetry {p1} vs {p0}");
+    }
+
+    #[test]
+    fn mtj_state_rails_flip_on_reprogram() {
+        let sim = TransientSim::default();
+        let mut lut = MramLut2::with_defaults();
+        // Cell 3 is 1 under AND (tt bit 3), 0 under NOR.
+        let trace = sim.run(
+            &mut lut,
+            &[
+                LutOp::Write(0b1000),
+                LutOp::Idle,
+                LutOp::Write(0b0001),
+                LutOp::Idle,
+            ],
+        );
+        let mtj3 = trace.signal("MTJ3").unwrap();
+        let spb = (sim.slot_ns / sim.dt_ns) as usize;
+        // After the AND write (slots 0-3), idle slot 4 shows MTJ3 = 1.
+        assert!(mtj3[5 * spb - 1] > 0.4);
+        // After the NOR write (slots 5-8), idle slot 9 shows MTJ3 = 0.
+        assert!(mtj3[10 * spb - 1] < 0.4);
+    }
+}

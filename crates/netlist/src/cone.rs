@@ -1,0 +1,155 @@
+//! Logic-cone analysis: transitive fan-in / fan-out extraction.
+//!
+//! The paper's insertion discussion (Section III-D) contrasts random gate
+//! selection with the community habit of targeting large output logic cones;
+//! these helpers supply the cone statistics both policies need.
+
+use crate::netlist::{GateId, NetId, Netlist};
+use std::collections::HashSet;
+
+/// The transitive fan-in cone of a net: every gate whose output can reach
+/// `net` going forward (i.e. all gates `net` structurally depends on,
+/// including its own driver).
+pub fn fanin_cone(nl: &Netlist, net: NetId) -> HashSet<GateId> {
+    let mut seen_nets: HashSet<NetId> = HashSet::new();
+    let mut cone: HashSet<GateId> = HashSet::new();
+    let mut stack = vec![net];
+    while let Some(n) = stack.pop() {
+        if !seen_nets.insert(n) {
+            continue;
+        }
+        if let Some(gid) = nl.net(n).driver() {
+            if cone.insert(gid) {
+                stack.extend(nl.gate(gid).inputs().iter().copied());
+            }
+        }
+    }
+    cone
+}
+
+/// The transitive fan-out cone of a net: every gate whose output
+/// structurally depends on `net`.
+pub fn fanout_cone(nl: &Netlist, net: NetId) -> HashSet<GateId> {
+    let fanout = nl.fanout_map();
+    let mut seen_nets: HashSet<NetId> = HashSet::new();
+    let mut cone: HashSet<GateId> = HashSet::new();
+    let mut stack = vec![net];
+    while let Some(n) = stack.pop() {
+        if !seen_nets.insert(n) {
+            continue;
+        }
+        for &gid in &fanout[n.index()] {
+            if cone.insert(gid) {
+                stack.push(nl.gate(gid).output());
+            }
+        }
+    }
+    cone
+}
+
+/// The primary inputs in the transitive fan-in of a net (its structural
+/// support).
+pub fn input_support(nl: &Netlist, net: NetId) -> HashSet<NetId> {
+    let mut seen: HashSet<NetId> = HashSet::new();
+    let mut support = HashSet::new();
+    let mut stack = vec![net];
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        match nl.net(n).driver() {
+            Some(gid) => stack.extend(nl.gate(gid).inputs().iter().copied()),
+            None => {
+                if nl.is_input(n) {
+                    support.insert(n);
+                }
+            }
+        }
+    }
+    support
+}
+
+/// The primary outputs reachable from a gate's output net.
+pub fn reachable_outputs(nl: &Netlist, gate: GateId) -> Vec<NetId> {
+    let out = nl.gate(gate).output();
+    let cone = fanout_cone(nl, out);
+    let cone_nets: HashSet<NetId> = cone.iter().map(|&g| nl.gate(g).output()).collect();
+    nl.outputs()
+        .iter()
+        .copied()
+        .filter(|o| *o == out || cone_nets.contains(o))
+        .collect()
+}
+
+/// Per-output fan-in cone sizes, in [`Netlist::outputs`] order.
+pub fn output_cone_sizes(nl: &Netlist) -> Vec<usize> {
+    nl.outputs()
+        .iter()
+        .map(|&o| fanin_cone(nl, o).len())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::c17;
+
+    #[test]
+    fn c17_cones() {
+        let nl = c17();
+        let g22 = nl.net_id("G22").unwrap();
+        let cone = fanin_cone(&nl, g22);
+        // G22 depends on G22, G10, G16, G11 drivers = 4 gates.
+        assert_eq!(cone.len(), 4);
+
+        let g23 = nl.net_id("G23").unwrap();
+        let cone23 = fanin_cone(&nl, g23);
+        assert_eq!(cone23.len(), 4); // G23, G16, G19, G11
+    }
+
+    #[test]
+    fn support_of_c17_outputs() {
+        let nl = c17();
+        let g22 = nl.net_id("G22").unwrap();
+        let support = input_support(&nl, g22);
+        let names: Vec<&str> = {
+            let mut v: Vec<&str> = support.iter().map(|&n| nl.net(n).name()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(names, vec!["G1", "G2", "G3", "G6"]);
+    }
+
+    #[test]
+    fn fanout_cone_reaches_outputs() {
+        let nl = c17();
+        let g11 = nl.net_id("G11").unwrap();
+        let cone = fanout_cone(&nl, g11);
+        // G11 feeds G16 and G19; G16 feeds G22 and G23; G19 feeds G23 => 4 gates.
+        assert_eq!(cone.len(), 4);
+    }
+
+    #[test]
+    fn reachable_outputs_from_inner_gate() {
+        let nl = c17();
+        let g11 = nl.net_id("G11").unwrap();
+        let driver = nl.net(g11).driver().unwrap();
+        let outs = reachable_outputs(&nl, driver);
+        assert_eq!(outs.len(), 2); // both primary outputs
+    }
+
+    #[test]
+    fn cone_sizes_per_output() {
+        let nl = c17();
+        let sizes = output_cone_sizes(&nl);
+        assert_eq!(sizes, vec![4, 4]);
+    }
+
+    #[test]
+    fn input_net_has_empty_fanin_cone() {
+        let nl = c17();
+        let g1 = nl.net_id("G1").unwrap();
+        assert!(fanin_cone(&nl, g1).is_empty());
+        assert_eq!(input_support(&nl, g1).len(), 1);
+    }
+}

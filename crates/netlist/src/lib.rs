@@ -1,0 +1,46 @@
+//! # ril-netlist — gate-level EDA substrate
+//!
+//! The netlist foundation of the RIL-Blocks reproduction: an arena-based
+//! gate-level [`Netlist`] with structural editing, ISCAS `.bench` I/O
+//! ([`parse_bench`]/[`write_bench`]), a 64-way bit-parallel [`Simulator`],
+//! logic-cone analysis ([`cone`]), and deterministic synthetic benchmark
+//! [`generators`] standing in for the ISCAS-85/89, ITC-99 and CEP circuits
+//! the paper evaluates on.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ril_netlist::{generators, Simulator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A synthetic c7552-class host circuit.
+//! let nl = generators::benchmark("c7552").expect("known benchmark");
+//! let stats = nl.stats();
+//! assert!(stats.gates > 1000);
+//!
+//! // Simulate 64 random patterns in one call.
+//! let mut sim = Simulator::new(&nl)?;
+//! let data = vec![0u64; nl.data_inputs().len()];
+//! let outputs = sim.eval_words(&nl, &data, &[]);
+//! assert_eq!(outputs.len(), nl.outputs().len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod cone;
+pub mod gate;
+pub mod generators;
+pub mod netlist;
+pub mod opt;
+pub mod sim;
+pub mod verilog;
+
+pub use bench::{parse_bench, write_bench, ParseBenchError};
+pub use gate::GateKind;
+pub use netlist::{Gate, GateId, Net, NetId, Netlist, NetlistError, NetlistStats};
+pub use opt::{optimize, OptStats};
+pub use sim::Simulator;
+pub use verilog::{parse_verilog, write_verilog, ParseVerilogError};

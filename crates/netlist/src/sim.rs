@@ -1,0 +1,299 @@
+//! 64-way bit-parallel functional simulation.
+//!
+//! A [`Simulator`] compiles a combinational [`Netlist`] into a topologically
+//! ordered evaluation plan once, then evaluates 64 input patterns per call
+//! (one pattern per bit lane). This is the oracle engine for the attack
+//! suite and the measurement engine for output-corruptibility studies.
+
+use crate::netlist::{GateId, NetId, Netlist, NetlistError};
+use rand::Rng;
+
+/// A compiled bit-parallel simulator over a combinational netlist.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = ril_netlist::bench::c17();
+/// let mut sim = ril_netlist::Simulator::new(&nl)?;
+/// let outs = sim.eval_bits(&nl, &[true, false, true, false, true]);
+/// assert_eq!(outs.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    order: Vec<GateId>,
+    values: Vec<u64>,
+    /// For each netlist input position: index into the data-input vector
+    /// (`Ok`) or the key vector (`Err`).
+    input_slots: Vec<Result<usize, usize>>,
+}
+
+impl Simulator {
+    /// Compiles the evaluation plan for `nl`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the netlist is cyclic
+    /// (convert sequential designs with [`Netlist::to_combinational`] first).
+    pub fn new(nl: &Netlist) -> Result<Simulator, NetlistError> {
+        let order = nl.topo_order()?;
+        let mut data_idx = 0;
+        let mut key_idx = 0;
+        let input_slots = nl
+            .inputs()
+            .iter()
+            .map(|&i| {
+                if nl.is_key_input(i) {
+                    let slot = Err(key_idx);
+                    key_idx += 1;
+                    slot
+                } else {
+                    let slot = Ok(data_idx);
+                    data_idx += 1;
+                    slot
+                }
+            })
+            .collect();
+        Ok(Simulator {
+            order,
+            values: vec![0; nl.net_count()],
+            input_slots,
+        })
+    }
+
+    /// Evaluates 64 patterns at once. `data` is aligned with
+    /// [`Netlist::data_inputs`] order and `keys` with
+    /// [`Netlist::key_inputs`] order; bit lane `i` of every word belongs to
+    /// pattern `i`. Returns one word per primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the netlist's input counts,
+    /// or if `nl` is not the netlist this simulator was compiled for.
+    pub fn eval_words(&mut self, nl: &Netlist, data: &[u64], keys: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            nl.net_count(),
+            self.values.len(),
+            "netlist does not match compiled simulator"
+        );
+        for (pos, &net) in nl.inputs().iter().enumerate() {
+            let word = match self.input_slots[pos] {
+                Ok(d) => data[d],
+                Err(k) => keys[k],
+            };
+            self.values[net.index()] = word;
+        }
+        let mut in_buf: Vec<u64> = Vec::with_capacity(4);
+        for &gid in &self.order {
+            let gate = nl.gate(gid);
+            in_buf.clear();
+            in_buf.extend(gate.inputs().iter().map(|n| self.values[n.index()]));
+            self.values[gate.output().index()] = gate.kind().eval_words(&in_buf);
+        }
+        nl.outputs()
+            .iter()
+            .map(|n| self.values[n.index()])
+            .collect()
+    }
+
+    /// Evaluates a single pattern given as bools over **all** primary inputs
+    /// (data and key inputs interleaved in [`Netlist::inputs`] order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the input count.
+    pub fn eval_bits(&mut self, nl: &Netlist, bits: &[bool]) -> Vec<bool> {
+        assert_eq!(bits.len(), nl.inputs().len(), "input width mismatch");
+        let mut data = Vec::new();
+        let mut keys = Vec::new();
+        for (pos, &b) in bits.iter().enumerate() {
+            let w = if b { u64::MAX } else { 0 };
+            match self.input_slots[pos] {
+                Ok(_) => data.push(w),
+                Err(_) => keys.push(w),
+            }
+        }
+        self.eval_words(nl, &data, &keys)
+            .into_iter()
+            .map(|w| w & 1 == 1)
+            .collect()
+    }
+
+    /// Evaluates one pattern with separate data/key bit vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatches.
+    pub fn eval_pattern(&mut self, nl: &Netlist, data: &[bool], keys: &[bool]) -> Vec<bool> {
+        let dw: Vec<u64> = data.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        let kw: Vec<u64> = keys.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        self.eval_words(nl, &dw, &kw)
+            .into_iter()
+            .map(|w| w & 1 == 1)
+            .collect()
+    }
+
+    /// Reads the last-computed value word of an arbitrary net (valid after a
+    /// call to [`Simulator::eval_words`]).
+    pub fn net_value(&self, net: NetId) -> u64 {
+        self.values[net.index()]
+    }
+}
+
+/// Generates `words` random 64-pattern words for each of `width` signals.
+/// Returned as `patterns[signal]` for one word-slice call.
+pub fn random_word_patterns<R: Rng>(rng: &mut R, width: usize) -> Vec<u64> {
+    (0..width).map(|_| rng.gen()).collect()
+}
+
+/// Measures output corruption between two keyed circuits over random
+/// patterns: the fraction of (pattern, output-bit) pairs that differ when
+/// the same netlist is evaluated under `keys_a` vs `keys_b`.
+///
+/// `patterns` counts 64-wide pattern words (so `patterns * 64` vectors).
+///
+/// # Panics
+///
+/// Panics if key widths do not match the netlist.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use rand::SeedableRng;
+/// let nl = ril_netlist::parse_bench(
+///     "xk", "INPUT(a)\nKEYINPUT(k)\nOUTPUT(y)\ny = XOR(a, k)\n")?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let frac = ril_netlist::sim::output_corruption(&nl, &[false], &[true], 8, &mut rng)?;
+/// assert!((frac - 1.0).abs() < 1e-9); // wrong key flips every output
+/// # Ok(())
+/// # }
+/// ```
+pub fn output_corruption<R: Rng>(
+    nl: &Netlist,
+    keys_a: &[bool],
+    keys_b: &[bool],
+    patterns: usize,
+    rng: &mut R,
+) -> Result<f64, NetlistError> {
+    let mut sim = Simulator::new(nl)?;
+    let n_data = nl.data_inputs().len();
+    let ka: Vec<u64> = keys_a.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+    let kb: Vec<u64> = keys_b.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+    let mut diff_bits = 0u64;
+    let mut total_bits = 0u64;
+    for _ in 0..patterns {
+        let data = random_word_patterns(rng, n_data);
+        let oa = sim.eval_words(nl, &data, &ka);
+        let ob = sim.eval_words(nl, &data, &kb);
+        for (wa, wb) in oa.iter().zip(&ob) {
+            diff_bits += (wa ^ wb).count_ones() as u64;
+            total_bits += 64;
+        }
+    }
+    if total_bits == 0 {
+        return Ok(0.0);
+    }
+    Ok(diff_bits as f64 / total_bits as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::c17;
+    use crate::gate::GateKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Reference single-pattern evaluation by recursive netlist walk.
+    fn reference_eval(nl: &Netlist, bits: &[bool]) -> Vec<bool> {
+        fn value(nl: &Netlist, net: NetId, assign: &std::collections::HashMap<NetId, bool>) -> bool {
+            if let Some(&v) = assign.get(&net) {
+                return v;
+            }
+            let gid = nl.net(net).driver().expect("driven");
+            let gate = nl.gate(gid);
+            let ins: Vec<bool> = gate.inputs().iter().map(|&n| value(nl, n, assign)).collect();
+            gate.kind().eval_bits(&ins)
+        }
+        let assign: std::collections::HashMap<NetId, bool> = nl
+            .inputs()
+            .iter()
+            .copied()
+            .zip(bits.iter().copied())
+            .collect();
+        nl.outputs().iter().map(|&o| value(nl, o, &assign)).collect()
+    }
+
+    #[test]
+    fn c17_matches_reference_for_all_patterns() {
+        let nl = c17();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for pattern in 0u32..32 {
+            let bits: Vec<bool> = (0..5).map(|i| (pattern >> i) & 1 == 1).collect();
+            assert_eq!(sim.eval_bits(&nl, &bits), reference_eval(&nl, &bits));
+        }
+    }
+
+    #[test]
+    fn bit_parallel_lanes_are_independent() {
+        let nl = c17();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let data = random_word_patterns(&mut rng, 5);
+        let outs = sim.eval_words(&nl, &data, &[]);
+        for lane in 0..64 {
+            let bits: Vec<bool> = data.iter().map(|w| (w >> lane) & 1 == 1).collect();
+            let expect = reference_eval(&nl, &bits);
+            for (o, e) in outs.iter().zip(&expect) {
+                assert_eq!((o >> lane) & 1 == 1, *e, "lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn key_inputs_routed_separately() {
+        let mut nl = Netlist::new("k");
+        let a = nl.add_input("a").unwrap();
+        let k = nl.add_key_input("k").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.add_gate(GateKind::Xor, &[a, k], y).unwrap();
+        nl.mark_output(y);
+        let mut sim = Simulator::new(&nl).unwrap();
+        let out = sim.eval_words(&nl, &[u64::MAX], &[0]);
+        assert_eq!(out[0], u64::MAX);
+        let out = sim.eval_words(&nl, &[u64::MAX], &[u64::MAX]);
+        assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    fn corruption_of_xor_key_is_total() {
+        let nl = crate::parse_bench("xk", "INPUT(a)\nKEYINPUT(k)\nOUTPUT(y)\ny = XOR(a, k)\n")
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let frac = output_corruption(&nl, &[false], &[true], 4, &mut rng).unwrap();
+        assert!((frac - 1.0).abs() < 1e-12);
+        let same = output_corruption(&nl, &[true], &[true], 4, &mut rng).unwrap();
+        assert_eq!(same, 0.0);
+    }
+
+    #[test]
+    fn net_value_readable_after_eval() {
+        let nl = c17();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.eval_bits(&nl, &[true; 5]);
+        let g10 = nl.net_id("G10").unwrap();
+        // NAND(1,1) = 0
+        assert_eq!(sim.net_value(g10) & 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn width_mismatch_panics() {
+        let nl = c17();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.eval_bits(&nl, &[true; 3]);
+    }
+}

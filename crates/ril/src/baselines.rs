@@ -1,0 +1,444 @@
+//! Baseline logic-locking schemes for the Table V comparison.
+//!
+//! Three published families, each locked onto the same [`LockedCircuit`]
+//! interface so the attack suite runs unchanged:
+//!
+//! * [`xor_lock`] — EPIC-style random XOR/XNOR key gates: high
+//!   corruptibility, but falls to the SAT attack in few iterations.
+//! * [`antisat_lock`] — Anti-SAT point function: `flip = g(x ⊕ k1) ∧
+//!   !g(x ⊕ k2)` forces exponentially many DIPs but corrupts almost
+//!   nothing.
+//! * [`sfll_lock`] — SFLL-HD0-style stripped functionality: one protected
+//!   input pattern is flipped in the stripped circuit and restored by a
+//!   key comparator.
+
+use crate::block::RilBlockSpec;
+use crate::key::{KeyBitKind, KeyStore};
+use crate::obfuscate::LockedCircuit;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use ril_netlist::{GateKind, NetId, Netlist, NetlistError};
+
+fn baseline_spec() -> RilBlockSpec {
+    // Marker spec for baseline locks (no RIL blocks present).
+    RilBlockSpec {
+        width: 2,
+        double_routing: false,
+        scan_obfuscation: false,
+    }
+}
+
+fn wrap(original: &Netlist, locked: Netlist, keys: KeyStore) -> LockedCircuit {
+    LockedCircuit {
+        original: original.clone(),
+        netlist: locked,
+        keys,
+        spec: baseline_spec(),
+        blocks: 0,
+        block_meta: Vec::new(),
+    }
+}
+
+/// EPIC-style XOR/XNOR locking: `key_bits` random internal nets each get an
+/// XOR (correct key bit 0) or XNOR (correct key bit 1) key gate spliced in.
+///
+/// # Errors
+///
+/// Propagates netlist errors; fails if the host has fewer nets than keys.
+pub fn xor_lock(original: &Netlist, key_bits: usize, seed: u64) -> Result<LockedCircuit, NetlistError> {
+    let mut nl = original.clone();
+    nl.set_name(format!("{}_xorlock", original.name()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keys = KeyStore::new();
+    // Lockable sites: outputs of gates (splice between driver and fanout).
+    let mut sites: Vec<NetId> = nl
+        .gates()
+        .filter(|(_, g)| g.kind().is_combinational())
+        .map(|(_, g)| g.output())
+        .collect();
+    sites.shuffle(&mut rng);
+    for site in sites.into_iter().take(key_bits) {
+        let invert: bool = rng.gen();
+        let key_net = nl.add_key_input(format!("keyinput{}", keys.len()))?;
+        keys.push(KeyBitKind::Baseline, invert);
+        // Splice: consumers of `site` now read the key gate's output.
+        let spliced = nl.fresh_net("xlk");
+        nl.redirect_consumers(site, spliced);
+        let kind = if invert { GateKind::Xnor } else { GateKind::Xor };
+        nl.add_gate(kind, &[site, key_net], spliced)?;
+    }
+    Ok(wrap(original, nl, keys))
+}
+
+/// Anti-SAT locking over `n` selected primary inputs: the flip signal
+/// `g(x ⊕ k1) ∧ !g(x ⊕ k2)` (with `g` = AND) XORs one primary output.
+/// Correct keys satisfy `k1 = k2` (we emit the all-equal random pair).
+///
+/// # Errors
+///
+/// Propagates netlist errors.
+///
+/// # Panics
+///
+/// Panics if the host has fewer than `n` data inputs or no outputs.
+pub fn antisat_lock(original: &Netlist, n: usize, seed: u64) -> Result<LockedCircuit, NetlistError> {
+    let mut nl = original.clone();
+    nl.set_name(format!("{}_antisat", original.name()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keys = KeyStore::new();
+    let data = nl.data_inputs();
+    assert!(data.len() >= n, "host too small for {n}-bit Anti-SAT");
+    let xs: Vec<NetId> = data[..n].to_vec();
+
+    let secret: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+    let mut k1_nets = Vec::new();
+    let mut k2_nets = Vec::new();
+    for half in 0..2 {
+        for &s in &secret {
+            let net = nl.add_key_input(format!("keyinput{}", keys.len()))?;
+            keys.push(KeyBitKind::Baseline, s);
+            if half == 0 {
+                k1_nets.push(net);
+            } else {
+                k2_nets.push(net);
+            }
+        }
+    }
+    // g = AND(x ⊕ k1), gbar = NAND(x ⊕ k2); flip = g ∧ gbar.
+    let mut g_in = Vec::new();
+    let mut gbar_in = Vec::new();
+    for i in 0..n {
+        g_in.push(nl.add_gate_fresh(GateKind::Xor, &[xs[i], k1_nets[i]], "as")?);
+        gbar_in.push(nl.add_gate_fresh(GateKind::Xor, &[xs[i], k2_nets[i]], "as")?);
+    }
+    let g = nl.add_gate_fresh(GateKind::And, &g_in, "asg")?;
+    let gbar = nl.add_gate_fresh(GateKind::Nand, &gbar_in, "asgb")?;
+    let flip = nl.add_gate_fresh(GateKind::And, &[g, gbar], "asf")?;
+    // XOR the flip into the first primary output.
+    let target = nl.outputs()[0];
+    let spliced = nl.fresh_net("aso");
+    nl.redirect_consumers(target, spliced);
+    nl.add_gate(GateKind::Xor, &[target, flip], spliced)?;
+    Ok(wrap(original, nl, keys))
+}
+
+/// SFLL-HD0-style locking over `n` selected primary inputs: the stripped
+/// circuit inverts one protected pattern; a key comparator restores it.
+/// Correct key = the protected pattern itself.
+///
+/// # Errors
+///
+/// Propagates netlist errors.
+///
+/// # Panics
+///
+/// Panics if the host has fewer than `n` data inputs or no outputs.
+pub fn sfll_lock(original: &Netlist, n: usize, seed: u64) -> Result<LockedCircuit, NetlistError> {
+    let mut nl = original.clone();
+    nl.set_name(format!("{}_sfll", original.name()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keys = KeyStore::new();
+    let data = nl.data_inputs();
+    assert!(data.len() >= n, "host too small for {n}-bit SFLL");
+    let xs: Vec<NetId> = data[..n].to_vec();
+    let pattern: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+
+    // Stripped-functionality flip: XNOR-compare x against the hard-coded
+    // protected pattern.
+    let mut strip_in = Vec::new();
+    for (i, &p) in pattern.iter().enumerate() {
+        let c = ril_netlist::generators::const_net(&mut nl, p);
+        strip_in.push(nl.add_gate_fresh(GateKind::Xnor, &[xs[i], c], "sfs")?);
+    }
+    let strip = nl.add_gate_fresh(GateKind::And, &strip_in, "sfstrip")?;
+
+    // Restore unit: XNOR-compare x against the key.
+    let mut restore_in = Vec::new();
+    for (i, &p) in pattern.iter().enumerate() {
+        let knet = nl.add_key_input(format!("keyinput{}", keys.len()))?;
+        keys.push(KeyBitKind::Baseline, p);
+        restore_in.push(nl.add_gate_fresh(GateKind::Xnor, &[xs[i], knet], "sfr")?);
+    }
+    let restore = nl.add_gate_fresh(GateKind::And, &restore_in, "sfrest")?;
+
+    // y = y_orig ⊕ strip ⊕ restore — correct key cancels the strip flip.
+    let target = nl.outputs()[0];
+    let spliced = nl.fresh_net("sfo");
+    nl.redirect_consumers(target, spliced);
+    let tmp = nl.add_gate_fresh(GateKind::Xor, &[target, strip], "sft")?;
+    nl.add_gate(GateKind::Xor, &[tmp, restore], spliced)?;
+    Ok(wrap(original, nl, keys))
+}
+
+/// FullLock-style routing obfuscation (the paper's ref \[10\] baseline):
+/// `width` structurally independent wires are cut and routed through one
+/// `width × width` banyan whose switch boxes carry **two key bits, three
+/// MUXes and an inverter** each (see
+/// [`crate::banyan::BanyanNetwork::materialize_fulllock`]). The correct
+/// key routes the identity with no inversions (all zeros).
+///
+/// The paper's Section III-A critique is measurable here: a wrong
+/// inversion in one box can be undone by a later box, so FullLock carries
+/// *more functionally equivalent keys per key bit* than the RIL switch box
+/// (see [`crate::metrics::count_equivalent_keys`] and the
+/// `key_redundancy` bench).
+///
+/// # Errors
+///
+/// Returns an error when the host lacks `width` independent wires.
+pub fn fulllock_lock(
+    original: &Netlist,
+    width: usize,
+    seed: u64,
+) -> Result<LockedCircuit, crate::block::ObfuscateError> {
+    routing_lock(original, width, seed, SwitchBoxStyle::FullLock)
+}
+
+/// Routing-only locking with RIL switch boxes (2 MUXes, one key bit per
+/// box) — the apples-to-apples counterpart of [`fulllock_lock`] for the
+/// switch-box comparison of Section III-A.
+///
+/// # Errors
+///
+/// Returns an error when the host lacks `width` independent wires.
+pub fn ril_routing_lock(
+    original: &Netlist,
+    width: usize,
+    seed: u64,
+) -> Result<LockedCircuit, crate::block::ObfuscateError> {
+    routing_lock(original, width, seed, SwitchBoxStyle::Ril)
+}
+
+/// Switch-box flavour for [`routing_lock`]-built baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SwitchBoxStyle {
+    Ril,
+    FullLock,
+}
+
+fn routing_lock(
+    original: &Netlist,
+    width: usize,
+    seed: u64,
+    style: SwitchBoxStyle,
+) -> Result<LockedCircuit, crate::block::ObfuscateError> {
+    use crate::banyan::BanyanNetwork;
+    use crate::insertion::{select_gates, InsertionPolicy};
+
+    assert!(width.is_power_of_two() && width >= 2, "width must be 2^k");
+    let mut nl = original.clone();
+    nl.set_name(format!("{}_route{width}_{style:?}", original.name()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keys = KeyStore::new();
+    // Independent wires = outputs of structurally independent gates.
+    let gates = select_gates(&nl, width, InsertionPolicy::Random, &mut rng)?;
+    let wires: Vec<NetId> = gates.iter().map(|&g| nl.gate(g).output()).collect();
+
+    // Detach consumers onto stubs that the network will re-drive.
+    let stubs: Vec<NetId> = wires
+        .iter()
+        .map(|&w| {
+            let s = nl.fresh_net("flk");
+            nl.redirect_consumers(w, s);
+            s
+        })
+        .collect();
+
+    let network = BanyanNetwork::new(width);
+    let n_keys = match style {
+        SwitchBoxStyle::Ril => network.num_keys(),
+        SwitchBoxStyle::FullLock => 2 * network.num_keys(),
+    };
+    let mut key_nets = Vec::with_capacity(n_keys);
+    for _ in 0..n_keys {
+        let net = nl
+            .add_key_input(format!("keyinput{}", keys.len()))
+            .map_err(crate::block::ObfuscateError::Netlist)?;
+        keys.push(KeyBitKind::Baseline, false); // identity route, no inversion
+        key_nets.push(net);
+    }
+    let lines = match style {
+        SwitchBoxStyle::Ril => network.materialize(&mut nl, &wires, &key_nets),
+        SwitchBoxStyle::FullLock => network.materialize_fulllock(&mut nl, &wires, &key_nets),
+    }
+    .map_err(crate::block::ObfuscateError::Netlist)?;
+    for (line, stub) in lines.into_iter().zip(stubs) {
+        nl.add_gate(GateKind::Buf, &[line], stub)
+            .map_err(crate::block::ObfuscateError::Netlist)?;
+    }
+    Ok(wrap(original, nl, keys))
+}
+
+/// Plain LUT-based locking (the custom-LUT obfuscation of the paper's
+/// refs \[8\]/\[12\], and its Section IV-B "increase the LUT size" argument):
+/// `count` gates are each replaced by an `m`-input key-programmable LUT
+/// whose first two inputs are the gate's fan-ins and whose remaining
+/// `m − 2` inputs are random key-independent nets (decoy support). The
+/// correct key programs the original function, ignoring the decoys —
+/// `2^m` key bits per gate.
+///
+/// # Errors
+///
+/// Propagates netlist errors; fails if the host lacks suitable gates or
+/// decoy nets.
+///
+/// # Panics
+///
+/// Panics if `m < 2`.
+pub fn lutm_lock(
+    original: &Netlist,
+    count: usize,
+    m: usize,
+    seed: u64,
+) -> Result<LockedCircuit, NetlistError> {
+    assert!(m >= 2, "LUT size must be at least 2");
+    let mut nl = original.clone();
+    nl.set_name(format!("{}_lut{m}lock", original.name()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keys = KeyStore::new();
+    let mut victims: Vec<ril_netlist::GateId> = nl
+        .gates()
+        .filter(|(_, g)| {
+            g.inputs().len() == 2 && ril_netlist::gate::truth_table_of(g.kind()).is_some()
+        })
+        .map(|(id, _)| id)
+        .collect();
+    victims.shuffle(&mut rng);
+    victims.truncate(count);
+    for gid in victims {
+        let gate = nl.gate(gid);
+        let (a, b, out) = (gate.inputs()[0], gate.inputs()[1], gate.output());
+        let tt2 = ril_netlist::gate::truth_table_of(gate.kind()).expect("filtered");
+        // Decoy inputs: any net outside the gate's fan-out cone.
+        let forbidden = ril_netlist::cone::fanout_cone(&nl, out);
+        let forbidden_nets: std::collections::HashSet<NetId> = forbidden
+            .iter()
+            .map(|&g| nl.gate(g).output())
+            .chain(std::iter::once(out))
+            .collect();
+        let mut decoy_pool: Vec<NetId> = nl
+            .nets()
+            .filter(|(id, net)| {
+                !forbidden_nets.contains(id)
+                    && !nl.is_key_input(*id)
+                    && (net.driver().is_some() || nl.is_input(*id))
+            })
+            .map(|(id, _)| id)
+            .collect();
+        decoy_pool.shuffle(&mut rng);
+        let decoys: Vec<NetId> = decoy_pool.into_iter().take(m - 2).collect();
+        if decoys.len() < m - 2 {
+            return Err(NetlistError::InvalidId("not enough decoy nets".into()));
+        }
+        nl.remove_gate(gid);
+        let mut inputs = vec![a, b];
+        inputs.extend(decoys);
+        let mut key_nets = Vec::with_capacity(1 << m);
+        for minterm in 0..(1usize << m) {
+            // Correct function ignores the decoy inputs.
+            let value = (tt2 >> (minterm & 0b11)) & 1 == 1;
+            let net = nl.add_key_input(format!("keyinput{}", keys.len()))?;
+            keys.push(KeyBitKind::Baseline, value);
+            key_nets.push(net);
+        }
+        let lut_out = crate::lut::materialize_lutm(&mut nl, &inputs, &key_nets)?;
+        nl.add_gate(GateKind::Buf, &[lut_out], out)?;
+    }
+    Ok(wrap(original, nl, keys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::output_corruptibility;
+    use ril_netlist::generators;
+
+    #[test]
+    fn xor_lock_correct_key_unlocks() {
+        let host = generators::adder(8);
+        let locked = xor_lock(&host, 16, 1).unwrap();
+        locked.netlist.validate().unwrap();
+        assert_eq!(locked.key_width(), 16);
+        assert!(locked.verify(16).unwrap());
+        // Flipping any key bit breaks it (XOR locks corrupt heavily).
+        let mut wrong = locked.keys.bits().to_vec();
+        wrong[0] = !wrong[0];
+        assert!(!locked.equivalent_under_key(&wrong, 16).unwrap());
+    }
+
+    #[test]
+    fn antisat_correct_key_unlocks() {
+        let host = generators::adder(8);
+        let locked = antisat_lock(&host, 8, 2).unwrap();
+        locked.netlist.validate().unwrap();
+        assert_eq!(locked.key_width(), 16);
+        assert!(locked.verify(32).unwrap());
+    }
+
+    #[test]
+    fn antisat_equal_halves_are_also_correct() {
+        // Any key with k1 == k2 makes flip ≡ 0: Anti-SAT's many-correct-keys
+        // property.
+        let host = generators::adder(8);
+        let locked = antisat_lock(&host, 6, 3).unwrap();
+        let mut key = vec![false; 12];
+        for i in 0..6 {
+            key[i] = i % 2 == 0;
+            key[i + 6] = i % 2 == 0;
+        }
+        assert!(locked.equivalent_under_key(&key, 32).unwrap());
+    }
+
+    #[test]
+    fn sfll_correct_key_unlocks_and_wrong_key_barely_corrupts() {
+        let host = generators::adder(8);
+        let locked = sfll_lock(&host, 8, 4).unwrap();
+        locked.netlist.validate().unwrap();
+        assert!(locked.verify(32).unwrap());
+        // One-point function ⇒ tiny corruption under wrong keys.
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = output_corruptibility(&locked, 4, 8, &mut rng).unwrap();
+        assert!(c < 0.01, "SFLL corruption should be tiny, got {c}");
+    }
+
+    #[test]
+    fn xor_lock_corrupts_much_more_than_point_functions() {
+        let host = generators::adder(8);
+        let xl = xor_lock(&host, 16, 6).unwrap();
+        let sf = sfll_lock(&host, 8, 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let cx = output_corruptibility(&xl, 4, 8, &mut rng).unwrap();
+        let cs = output_corruptibility(&sf, 4, 8, &mut rng).unwrap();
+        assert!(cx > 10.0 * cs, "xor {cx} vs sfll {cs}");
+    }
+
+    #[test]
+    fn lutm_lock_preserves_function_for_all_sizes() {
+        let host = generators::adder(8);
+        for m in 2..=5 {
+            let locked = lutm_lock(&host, 3, m, 10 + m as u64).unwrap();
+            locked.netlist.validate().unwrap();
+            assert_eq!(locked.key_width(), 3 * (1 << m), "m={m}");
+            assert!(locked.verify(16).unwrap(), "m={m}");
+        }
+    }
+
+    #[test]
+    fn lutm_lock_wrong_key_corrupts() {
+        let host = generators::adder(8);
+        let locked = lutm_lock(&host, 4, 3, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = output_corruptibility(&locked, 8, 4, &mut rng).unwrap();
+        assert!(c > 0.01, "corruption {c}");
+    }
+
+    #[test]
+    fn wrong_antisat_key_flips_one_point_only() {
+        let host = generators::adder(8);
+        let locked = antisat_lock(&host, 8, 7).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let c = output_corruptibility(&locked, 4, 8, &mut rng).unwrap();
+        assert!(c < 0.02, "Anti-SAT corruption should be tiny, got {c}");
+    }
+}

@@ -1,0 +1,657 @@
+//! RIL-Block construction: routing networks + key-programmable LUTs.
+//!
+//! The block micro-architecture follows DESIGN.md §6: an `N×N` block
+//! absorbs `N/2` selected two-input gates behind an input banyan; the
+//! `N×N×N` variant adds an output banyan over the true/complement rails of
+//! every LUT output, so the position *and polarity* of each block output is
+//! key-dependent. All key material is emitted as `KEYINPUT` nets of the
+//! locked netlist and recorded in a [`KeyStore`].
+
+use crate::banyan::BanyanNetwork;
+use crate::key::{KeyBitKind, KeyStore};
+use crate::lut::{materialize_lut2, swap_lut_inputs};
+use rand::Rng;
+use ril_netlist::gate::truth_table_of;
+use ril_netlist::{GateId, GateKind, NetId, Netlist, NetlistError};
+use std::error::Error;
+use std::fmt;
+
+/// Shape of one RIL-Block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RilBlockSpec {
+    /// Routing-network width `N` (power of two ≥ 2). The block absorbs
+    /// `N/2` gates.
+    pub width: usize,
+    /// `true` for the `N×N×N` variant (output-side banyan).
+    pub double_routing: bool,
+    /// Add the per-LUT Scan-Enable obfuscation stage.
+    pub scan_obfuscation: bool,
+}
+
+impl RilBlockSpec {
+    /// The paper's `2×2` block: one switch box, one LUT.
+    pub fn size_2x2() -> RilBlockSpec {
+        RilBlockSpec {
+            width: 2,
+            double_routing: false,
+            scan_obfuscation: false,
+        }
+    }
+
+    /// The paper's `8×8` block.
+    pub fn size_8x8() -> RilBlockSpec {
+        RilBlockSpec {
+            width: 8,
+            double_routing: false,
+            scan_obfuscation: false,
+        }
+    }
+
+    /// The paper's `8×8×8` block.
+    pub fn size_8x8x8() -> RilBlockSpec {
+        RilBlockSpec {
+            width: 8,
+            double_routing: true,
+            scan_obfuscation: false,
+        }
+    }
+
+    /// Parses a spec from the paper's notation: `"2x2"`, `"8x8"`,
+    /// `"8x8x8"`, also `"4x4"`, `"16x16x16"`, …
+    pub fn parse(s: &str) -> Option<RilBlockSpec> {
+        let parts: Vec<&str> = s.split(['x', 'X', '×']).collect();
+        if parts.len() < 2 || parts.len() > 3 {
+            return None;
+        }
+        let width: usize = parts[0].parse().ok()?;
+        if !width.is_power_of_two() || width < 2 {
+            return None;
+        }
+        if parts.iter().any(|p| p.parse::<usize>() != Ok(width)) {
+            return None;
+        }
+        Some(RilBlockSpec {
+            width,
+            double_routing: parts.len() == 3,
+            scan_obfuscation: false,
+        })
+    }
+
+    /// Enables/disables the Scan-Enable stage (builder style).
+    pub fn with_scan(mut self, on: bool) -> RilBlockSpec {
+        self.scan_obfuscation = on;
+        self
+    }
+
+    /// Number of 2-input LUTs (= gates absorbed) per block.
+    pub fn luts(&self) -> usize {
+        (self.width / 2).max(1)
+    }
+
+    /// Total key bits per block.
+    pub fn keys_per_block(&self) -> usize {
+        let input_net = BanyanNetwork::new(self.width).num_keys();
+        let output_net = if self.double_routing {
+            BanyanNetwork::new(self.width).num_keys()
+        } else {
+            0
+        };
+        let lut_keys = 4 * self.luts();
+        let se = if self.scan_obfuscation { self.luts() } else { 0 };
+        input_net + output_net + lut_keys + se
+    }
+}
+
+impl fmt::Display for RilBlockSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.double_routing {
+            write!(f, "{0}x{0}x{0}", self.width)
+        } else {
+            write!(f, "{0}x{0}", self.width)
+        }
+    }
+}
+
+/// Errors during obfuscation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObfuscateError {
+    /// The selected gate cannot be absorbed into a 2-input LUT.
+    NotLutCompatible(String),
+    /// Not enough suitable, structurally independent gates in the host.
+    NotEnoughGates {
+        /// Gates needed per block.
+        needed: usize,
+        /// Gates found.
+        found: usize,
+    },
+    /// Wrong number of gates passed for the block width.
+    WrongGateCount {
+        /// Expected `spec.luts()`.
+        expected: usize,
+        /// Provided.
+        got: usize,
+    },
+    /// Underlying netlist error.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for ObfuscateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObfuscateError::NotLutCompatible(n) => {
+                write!(f, "gate driving `{n}` is not a 2-input boolean function")
+            }
+            ObfuscateError::NotEnoughGates { needed, found } => {
+                write!(f, "need {needed} independent 2-input gates, found {found}")
+            }
+            ObfuscateError::WrongGateCount { expected, got } => {
+                write!(f, "block expects {expected} gates, got {got}")
+            }
+            ObfuscateError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for ObfuscateError {}
+
+impl From<NetlistError> for ObfuscateError {
+    fn from(e: NetlistError) -> Self {
+        ObfuscateError::Netlist(e)
+    }
+}
+
+/// Metadata of one materialized block — everything dynamic morphing needs
+/// to re-key the block without re-tracing the netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Block shape.
+    pub spec: RilBlockSpec,
+    /// Index of the block's first key bit in the [`KeyStore`].
+    pub first_key: usize,
+    /// For double-routing blocks: the output-banyan line index wired to
+    /// each absorbed gate's fan-out (per LUT slot). Empty otherwise.
+    pub out_ports: Vec<usize>,
+    /// Nets entering the input banyan, port order (the routing element's
+    /// structural boundary — what an attacker recovers by inspecting the
+    /// MUX trees, used by the one-layer linear re-encoding).
+    pub in_port_nets: Vec<NetId>,
+    /// Nets leaving the input banyan, line order.
+    pub in_line_nets: Vec<NetId>,
+    /// Nets entering the output banyan (true/complement rails), port order.
+    /// Empty for single-routing blocks.
+    pub out_rail_nets: Vec<NetId>,
+    /// Nets leaving the output banyan, line order. Empty for single-routing
+    /// blocks.
+    pub out_line_nets: Vec<NetId>,
+}
+
+impl BlockMeta {
+    fn banyan(&self) -> BanyanNetwork {
+        BanyanNetwork::new(self.spec.width)
+    }
+
+    /// Global key index of input-network routing bit (`stage`, `box`).
+    pub fn in_routing_key(&self, stage: usize, switchbox: usize) -> usize {
+        self.first_key + self.banyan().key_index(stage, switchbox)
+    }
+
+    /// Global key indices of the whole input routing network, layout order.
+    pub fn in_routing_keys(&self) -> Vec<usize> {
+        let n = self.banyan().num_keys();
+        (self.first_key..self.first_key + n).collect()
+    }
+
+    /// Key bits consumed by each LUT group (4 truth-table bits plus the SE
+    /// bit when scan obfuscation is on).
+    fn lut_group_width(&self) -> usize {
+        4 + usize::from(self.spec.scan_obfuscation)
+    }
+
+    /// Global key index of LUT `lut`'s truth-table bit `bit`.
+    pub fn lut_key(&self, lut: usize, bit: usize) -> usize {
+        self.first_key + self.banyan().num_keys() + lut * self.lut_group_width() + bit
+    }
+
+    /// Global key index of LUT `lut`'s Scan-Enable bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block has no scan obfuscation.
+    pub fn se_key(&self, lut: usize) -> usize {
+        assert!(self.spec.scan_obfuscation, "block has no SE stage");
+        self.first_key + self.banyan().num_keys() + lut * self.lut_group_width() + 4
+    }
+
+    /// Global key indices of the output routing network (empty for single
+    /// routing blocks).
+    pub fn out_routing_keys(&self) -> Vec<usize> {
+        if !self.spec.double_routing {
+            return Vec::new();
+        }
+        let n = self.banyan().num_keys();
+        let start =
+            self.first_key + n + self.spec.luts() * self.lut_group_width();
+        (start..start + n).collect()
+    }
+
+    /// Total key bits of this block.
+    pub fn key_width(&self) -> usize {
+        self.spec.keys_per_block()
+    }
+}
+
+/// Adds a key input named after its global index and records it.
+fn add_key(
+    nl: &mut Netlist,
+    keys: &mut KeyStore,
+    kind: KeyBitKind,
+    value: bool,
+) -> Result<NetId, NetlistError> {
+    let name = format!("keyinput{}", keys.len());
+    let net = nl.add_key_input(name)?;
+    keys.push(kind, value);
+    Ok(net)
+}
+
+/// Materializes one RIL-Block over the given already-selected gates
+/// (`spec.luts()` two-input gates, pairwise structurally independent).
+/// The gates are removed and replaced by the block; all block key bits are
+/// appended to `keys` in netlist order.
+///
+/// `se_net` is the global scan-enable input (required when
+/// `spec.scan_obfuscation`).
+///
+/// # Errors
+///
+/// Returns [`ObfuscateError::WrongGateCount`] /
+/// [`ObfuscateError::NotLutCompatible`] on bad selections, and propagates
+/// netlist errors.
+pub fn insert_block<R: Rng>(
+    nl: &mut Netlist,
+    keys: &mut KeyStore,
+    block_idx: usize,
+    spec: &RilBlockSpec,
+    gates: &[GateId],
+    se_net: Option<NetId>,
+    rng: &mut R,
+) -> Result<BlockMeta, ObfuscateError> {
+    let first_key = keys.len();
+    if gates.len() != spec.luts() {
+        return Err(ObfuscateError::WrongGateCount {
+            expected: spec.luts(),
+            got: gates.len(),
+        });
+    }
+    // Harvest the absorbed gates.
+    struct Absorbed {
+        fanin_a: NetId,
+        fanin_b: NetId,
+        tt: u8,
+        out: NetId,
+    }
+    let mut absorbed = Vec::with_capacity(gates.len());
+    for &gid in gates {
+        let gate = nl.gate(gid);
+        let tt = truth_table_of(gate.kind()).ok_or_else(|| {
+            ObfuscateError::NotLutCompatible(nl.net(gate.output()).name().to_string())
+        })?;
+        if gate.inputs().len() != 2 {
+            return Err(ObfuscateError::NotLutCompatible(
+                nl.net(gate.output()).name().to_string(),
+            ));
+        }
+        absorbed.push(Absorbed {
+            fanin_a: gate.inputs()[0],
+            fanin_b: gate.inputs()[1],
+            tt,
+            out: gate.output(),
+        });
+    }
+    for &gid in gates {
+        nl.remove_gate(gid);
+    }
+
+    let banyan = BanyanNetwork::new(spec.width);
+
+    // Randomly swap each gate's fan-in pair (compensated in the LUT table).
+    for a in &mut absorbed {
+        if rng.gen() {
+            std::mem::swap(&mut a.fanin_a, &mut a.fanin_b);
+            a.tt = swap_lut_inputs(a.tt);
+        }
+    }
+
+    // --- Input routing network -------------------------------------------
+    // Desired wire at banyan output line 2j / 2j+1 = fan-ins of gate j.
+    let mut desired = vec![None; spec.width];
+    for (j, a) in absorbed.iter().enumerate() {
+        desired[2 * j] = Some(a.fanin_a);
+        desired[2 * j + 1] = Some(a.fanin_b);
+    }
+    // Any random key is realizable: feed port p with the wire destined for
+    // line perm[p].
+    let k1: Vec<bool> = (0..banyan.num_keys()).map(|_| rng.gen()).collect();
+    let perm1 = banyan.route(&k1);
+    let ports: Vec<NetId> = (0..spec.width)
+        .map(|p| desired[perm1[p]].expect("all lines assigned"))
+        .collect();
+    let mut k1_nets = Vec::with_capacity(k1.len());
+    for stage in 0..banyan.num_stages() {
+        for b in 0..banyan.boxes_per_stage() {
+            let idx = banyan.key_index(stage, b);
+            k1_nets.push(add_key(
+                nl,
+                keys,
+                KeyBitKind::Routing {
+                    block: block_idx,
+                    network: 0,
+                    stage,
+                    switchbox: b,
+                },
+                k1[idx],
+            )?);
+        }
+    }
+    let lines = banyan.materialize(nl, &ports, &k1_nets)?;
+
+    // --- LUT stage ---------------------------------------------------------
+    let mut lut_outs = Vec::with_capacity(absorbed.len());
+    for (j, a) in absorbed.iter().enumerate() {
+        let mut key_nets = [lines[0]; 4];
+        for bit in 0..4u8 {
+            key_nets[bit as usize] = add_key(
+                nl,
+                keys,
+                KeyBitKind::LutConfig {
+                    block: block_idx,
+                    lut: j,
+                    bit,
+                },
+                (a.tt >> bit) & 1 == 1,
+            )?;
+        }
+        let mut o = materialize_lut2(nl, lines[2 * j], lines[2 * j + 1], key_nets)?;
+        // Scan-Enable stage: OUT = O ⊕ (SE ∧ K_SE).
+        if spec.scan_obfuscation {
+            let se = se_net.expect("scan obfuscation requires the SE net");
+            let k_se = add_key(
+                nl,
+                keys,
+                KeyBitKind::ScanEnable {
+                    block: block_idx,
+                    lut: j,
+                },
+                rng.gen(),
+            )?;
+            let gate_se = nl.add_gate_fresh(GateKind::And, &[se, k_se], "seand")?;
+            o = nl.add_gate_fresh(GateKind::Xor, &[o, gate_se], "seout")?;
+        }
+        lut_outs.push(o);
+    }
+
+    // --- Output side ---------------------------------------------------------
+    if spec.double_routing {
+        // True/complement rails of every LUT output enter the second banyan.
+        let mut rails = Vec::with_capacity(spec.width);
+        for &o in &lut_outs {
+            rails.push(o);
+            rails.push(nl.add_gate_fresh(GateKind::Not, &[o], "rail")?);
+        }
+        let k2: Vec<bool> = (0..banyan.num_keys()).map(|_| rng.gen()).collect();
+        let perm2 = banyan.route(&k2);
+        let mut k2_nets = Vec::with_capacity(k2.len());
+        for stage in 0..banyan.num_stages() {
+            for b in 0..banyan.boxes_per_stage() {
+                let idx = banyan.key_index(stage, b);
+                k2_nets.push(add_key(
+                    nl,
+                    keys,
+                    KeyBitKind::Routing {
+                        block: block_idx,
+                        network: 1,
+                        stage,
+                        switchbox: b,
+                    },
+                    k2[idx],
+                )?);
+            }
+        }
+        let out_lines = banyan.materialize(nl, &rails, &k2_nets)?;
+        // Gate j's true rail entered at port 2j and lands on line perm2[2j].
+        let mut out_ports = Vec::with_capacity(absorbed.len());
+        for (j, a) in absorbed.iter().enumerate() {
+            nl.add_gate(GateKind::Buf, &[out_lines[perm2[2 * j]]], a.out)?;
+            out_ports.push(perm2[2 * j]);
+        }
+        Ok(BlockMeta {
+            spec: *spec,
+            first_key,
+            out_ports,
+            in_port_nets: ports,
+            in_line_nets: lines,
+            out_rail_nets: rails,
+            out_line_nets: out_lines,
+        })
+    } else {
+        for (j, a) in absorbed.iter().enumerate() {
+            nl.add_gate(GateKind::Buf, &[lut_outs[j]], a.out)?;
+        }
+        Ok(BlockMeta {
+            spec: *spec,
+            first_key,
+            out_ports: Vec::new(),
+            in_port_nets: ports,
+            in_line_nets: lines,
+            out_rail_nets: Vec::new(),
+            out_line_nets: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ril_netlist::{generators, Simulator};
+
+    #[test]
+    fn spec_parsing_and_counts() {
+        let s = RilBlockSpec::parse("2x2").unwrap();
+        assert_eq!(s, RilBlockSpec::size_2x2());
+        assert_eq!(s.luts(), 1);
+        assert_eq!(s.keys_per_block(), 1 + 4);
+        let s = RilBlockSpec::parse("8x8").unwrap();
+        assert_eq!(s.luts(), 4);
+        assert_eq!(s.keys_per_block(), 12 + 16);
+        let s = RilBlockSpec::parse("8x8x8").unwrap();
+        assert!(s.double_routing);
+        assert_eq!(s.keys_per_block(), 12 + 16 + 12);
+        assert_eq!(s.with_scan(true).keys_per_block(), 12 + 16 + 12 + 4);
+        assert!(RilBlockSpec::parse("3x3").is_none());
+        assert!(RilBlockSpec::parse("8x4").is_none());
+        assert!(RilBlockSpec::parse("8").is_none());
+        assert_eq!(RilBlockSpec::size_8x8x8().to_string(), "8x8x8");
+    }
+
+    /// Inserts one block over the first `k` independent 2-input gates of a
+    /// small host and checks functional equivalence under the correct key.
+    fn check_block_equivalence(spec: RilBlockSpec, seed: u64) {
+        let original = generators::adder(6);
+        let mut locked = original.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let se = if spec.scan_obfuscation {
+            Some(locked.add_input("SE").unwrap())
+        } else {
+            None
+        };
+        // Pick independent 2-input gates (no path between them): use
+        // same-level XOR gates of the adder's first stage — simplest is to
+        // take the a[i]&b[i] AND gates, which are pairwise independent.
+        let candidates: Vec<GateId> = locked
+            .gates()
+            .filter(|(_, g)| {
+                g.kind() == GateKind::And
+                    && g.inputs().len() == 2
+                    && g.inputs().iter().all(|&n| locked.is_input(n))
+            })
+            .map(|(id, _)| id)
+            .take(spec.luts())
+            .collect();
+        assert_eq!(candidates.len(), spec.luts(), "host too small for test");
+        let mut keys = KeyStore::new();
+        insert_block(&mut locked, &mut keys, 0, &spec, &candidates, se, &mut rng).unwrap();
+        locked.validate().unwrap();
+        assert_eq!(keys.len(), spec.keys_per_block());
+        assert_eq!(locked.key_inputs().len(), keys.len());
+
+        // Equivalence under the correct key (SE = 0).
+        let mut sim_orig = Simulator::new(&original).unwrap();
+        let mut sim_lock = Simulator::new(&locked).unwrap();
+        let kw = keys.as_words();
+        for trial in 0..20 {
+            let mut trng = StdRng::seed_from_u64(seed * 1000 + trial);
+            let data_orig: Vec<u64> =
+                (0..original.data_inputs().len()).map(|_| trng.gen()).collect();
+            let mut data_lock = data_orig.clone();
+            if se.is_some() {
+                data_lock.push(0); // SE pin low in functional mode
+            }
+            let o1 = sim_orig.eval_words(&original, &data_orig, &[]);
+            let o2 = sim_lock.eval_words(&locked, &data_lock, &kw);
+            assert_eq!(o1, o2, "{spec} trial {trial}");
+        }
+
+        // A random wrong key corrupts at least one output somewhere.
+        let mut corrupted = false;
+        for trial in 0..10 {
+            let mut trng = StdRng::seed_from_u64(seed * 77 + trial);
+            let wrong: Vec<u64> = (0..keys.len()).map(|_| trng.gen()).collect();
+            let data_orig: Vec<u64> =
+                (0..original.data_inputs().len()).map(|_| trng.gen()).collect();
+            let mut data_lock = data_orig.clone();
+            if se.is_some() {
+                data_lock.push(0);
+            }
+            let o1 = sim_orig.eval_words(&original, &data_orig, &[]);
+            let o2 = sim_lock.eval_words(&locked, &data_lock, &wrong);
+            if o1 != o2 {
+                corrupted = true;
+                break;
+            }
+        }
+        assert!(corrupted, "{spec}: wrong keys never corrupt outputs");
+    }
+
+    #[test]
+    fn block_2x2_preserves_function() {
+        check_block_equivalence(RilBlockSpec::size_2x2(), 1);
+        check_block_equivalence(RilBlockSpec::size_2x2().with_scan(true), 2);
+    }
+
+    #[test]
+    fn block_4x4_preserves_function() {
+        check_block_equivalence(RilBlockSpec::parse("4x4").unwrap(), 3);
+        check_block_equivalence(RilBlockSpec::parse("4x4x4").unwrap(), 4);
+    }
+
+    #[test]
+    fn block_8x8_and_8x8x8_preserve_function() {
+        // adder(6) has 6 independent first-stage AND gates — enough for
+        // width 8 (4 LUTs).
+        check_block_equivalence(RilBlockSpec::size_8x8(), 5);
+        check_block_equivalence(RilBlockSpec::size_8x8x8(), 6);
+        check_block_equivalence(RilBlockSpec::size_8x8x8().with_scan(true), 7);
+    }
+
+    #[test]
+    fn se_assertion_corrupts_outputs_for_se_keyed_luts() {
+        // With scan obfuscation and at least one SE key = 1, asserting SE
+        // under the CORRECT key must corrupt outputs (that's the defense).
+        let spec = RilBlockSpec::size_8x8().with_scan(true);
+        for seed in 0..20 {
+            let original = generators::adder(6);
+            let mut locked = original.clone();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let se = locked.add_input("SE").unwrap();
+            let candidates: Vec<GateId> = locked
+                .gates()
+                .filter(|(_, g)| {
+                    g.kind() == GateKind::And
+                        && g.inputs().len() == 2
+                        && g.inputs().iter().all(|&n| locked.is_input(n))
+                })
+                .map(|(id, _)| id)
+                .take(spec.luts())
+                .collect();
+            let mut keys = KeyStore::new();
+            insert_block(&mut locked, &mut keys, 0, &spec, &candidates, Some(se), &mut rng)
+                .unwrap();
+            let any_se_key_set = keys
+                .kinds()
+                .iter()
+                .zip(keys.bits())
+                .any(|(k, &v)| matches!(k, KeyBitKind::ScanEnable { .. }) && v);
+            if !any_se_key_set {
+                continue; // all SE keys drew 0 — no inversion expected
+            }
+            let mut sim_orig = Simulator::new(&original).unwrap();
+            let mut sim_lock = Simulator::new(&locked).unwrap();
+            let kw = keys.as_words();
+            let mut trng = StdRng::seed_from_u64(seed + 999);
+            let data_orig: Vec<u64> =
+                (0..original.data_inputs().len()).map(|_| trng.gen()).collect();
+            let mut data_se = data_orig.clone();
+            data_se.push(u64::MAX); // SE asserted
+            let o1 = sim_orig.eval_words(&original, &data_orig, &[]);
+            let o2 = sim_lock.eval_words(&locked, &data_se, &kw);
+            if o1 != o2 {
+                return; // observed the corruption — test passes
+            }
+        }
+        panic!("SE assertion never corrupted outputs across seeds");
+    }
+
+    #[test]
+    fn wrong_gate_count_rejected() {
+        let mut nl = generators::adder(4);
+        let mut keys = KeyStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let gid = nl.gates().next().map(|(id, _)| id).unwrap();
+        let err = insert_block(
+            &mut nl,
+            &mut keys,
+            0,
+            &RilBlockSpec::size_8x8(),
+            &[gid],
+            None,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ObfuscateError::WrongGateCount { .. }));
+    }
+
+    #[test]
+    fn non_lut_gate_rejected() {
+        let mut nl = ril_netlist::Netlist::new("m");
+        let s = nl.add_input("s").unwrap();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let y = nl.add_net("y").unwrap();
+        let gid = nl.add_gate(GateKind::Mux, &[s, a, b], y).unwrap();
+        nl.mark_output(y);
+        let mut keys = KeyStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = insert_block(
+            &mut nl,
+            &mut keys,
+            0,
+            &RilBlockSpec::size_2x2(),
+            &[gid],
+            None,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ObfuscateError::NotLutCompatible(_)));
+    }
+}

@@ -1,0 +1,171 @@
+//! Gate-selection policies for RIL-Block insertion (paper Section III-D).
+//!
+//! The paper's headline policy is **random** selection — no restriction on
+//! which gates are replaced, which both eases the designer's job and yields
+//! high output corruptibility. A cone-targeted policy (the community's
+//! traditional choice) is provided for the corruptibility comparison.
+//!
+//! Selections must be *structurally independent*: a RIL-Block connects all
+//! of its inputs to all of its outputs, so two absorbed gates with a path
+//! between them would create a combinational cycle. Independence is checked
+//! against the current netlist, after any previously materialized blocks.
+
+use crate::block::ObfuscateError;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use ril_netlist::cone::fanout_cone;
+use ril_netlist::gate::truth_table_of;
+use ril_netlist::{GateId, Netlist};
+use std::collections::HashSet;
+
+/// Gate-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InsertionPolicy {
+    /// Uniform random selection over all replaceable gates (the paper's
+    /// recommended policy).
+    #[default]
+    Random,
+    /// Prefer gates with the largest transitive fan-out (deep in big logic
+    /// cones) — the traditional policy the paper argues reduces output
+    /// corruption.
+    LargeCone,
+}
+
+/// Whether `gid` is replaceable by a 2-input LUT: a two-input boolean
+/// function whose fan-ins are not key inputs.
+pub fn is_replaceable(nl: &Netlist, gid: GateId) -> bool {
+    let gate = nl.gate(gid);
+    gate.inputs().len() == 2
+        && truth_table_of(gate.kind()).is_some()
+        && gate.inputs().iter().all(|&n| !nl.is_key_input(n))
+}
+
+/// Selects `count` replaceable, pairwise structurally independent gates
+/// from the current netlist.
+///
+/// # Errors
+///
+/// Returns [`ObfuscateError::NotEnoughGates`] if no independent set of the
+/// requested size exists along the sampled order.
+pub fn select_gates<R: Rng>(
+    nl: &Netlist,
+    count: usize,
+    policy: InsertionPolicy,
+    rng: &mut R,
+) -> Result<Vec<GateId>, ObfuscateError> {
+    let mut candidates: Vec<GateId> = nl
+        .gates()
+        .filter(|(id, _)| is_replaceable(nl, *id))
+        .map(|(id, _)| id)
+        .collect();
+    match policy {
+        InsertionPolicy::Random => candidates.shuffle(rng),
+        InsertionPolicy::LargeCone => {
+            let mut sized: Vec<(usize, GateId)> = candidates
+                .iter()
+                .map(|&g| (fanout_cone(nl, nl.gate(g).output()).len(), g))
+                .collect();
+            // Largest cones first; shuffle within ties via random jitter.
+            sized.sort_by_key(|&(size, _)| std::cmp::Reverse(size));
+            candidates = sized.into_iter().map(|(_, g)| g).collect();
+        }
+    }
+
+    let mut accepted: Vec<GateId> = Vec::with_capacity(count);
+    let mut accepted_cones: Vec<HashSet<GateId>> = Vec::with_capacity(count);
+    for cand in candidates {
+        if accepted.len() == count {
+            break;
+        }
+        // No accepted gate may reach the candidate, nor vice versa.
+        if accepted_cones.iter().any(|cone| cone.contains(&cand)) {
+            continue;
+        }
+        let cand_cone = fanout_cone(nl, nl.gate(cand).output());
+        if accepted.iter().any(|a| cand_cone.contains(a)) {
+            continue;
+        }
+        accepted.push(cand);
+        accepted_cones.push(cand_cone);
+    }
+    if accepted.len() < count {
+        return Err(ObfuscateError::NotEnoughGates {
+            needed: count,
+            found: accepted.len(),
+        });
+    }
+    Ok(accepted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ril_netlist::generators;
+
+    #[test]
+    fn replaceable_filter() {
+        let nl = generators::adder(4);
+        let total = nl.gates().count();
+        let replaceable = nl
+            .gates()
+            .filter(|(id, _)| is_replaceable(&nl, *id))
+            .count();
+        assert!(replaceable > 0);
+        // Everything in the adder except the constant gate is 2-input.
+        assert!(replaceable >= total - 2);
+    }
+
+    #[test]
+    fn selected_gates_are_independent() {
+        let nl = generators::multiplier(5);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let sel = select_gates(&nl, 4, InsertionPolicy::Random, &mut rng).unwrap();
+            assert_eq!(sel.len(), 4);
+            for (i, &a) in sel.iter().enumerate() {
+                let cone = fanout_cone(&nl, nl.gate(a).output());
+                for (j, b) in sel.iter().enumerate() {
+                    if i != j {
+                        assert!(!cone.contains(b), "selected gates are dependent");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_policy_varies_with_seed() {
+        let nl = generators::multiplier(5);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(2);
+        let s1 = select_gates(&nl, 4, InsertionPolicy::Random, &mut r1).unwrap();
+        let s2 = select_gates(&nl, 4, InsertionPolicy::Random, &mut r2).unwrap();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn large_cone_policy_prefers_deep_gates() {
+        let nl = generators::multiplier(5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sel = select_gates(&nl, 1, InsertionPolicy::LargeCone, &mut rng).unwrap();
+        let chosen_cone = fanout_cone(&nl, nl.gate(sel[0]).output()).len();
+        // The chosen gate's cone must be at least as large as the median.
+        let mut sizes: Vec<usize> = nl
+            .gates()
+            .filter(|(id, _)| is_replaceable(&nl, *id))
+            .map(|(id, _)| fanout_cone(&nl, nl.gate(id).output()).len())
+            .collect();
+        sizes.sort_unstable();
+        assert!(chosen_cone >= sizes[sizes.len() / 2]);
+    }
+
+    #[test]
+    fn impossible_request_errors() {
+        let nl = generators::adder(2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let err = select_gates(&nl, 1000, InsertionPolicy::Random, &mut rng).unwrap_err();
+        assert!(matches!(err, ObfuscateError::NotEnoughGates { .. }));
+    }
+}

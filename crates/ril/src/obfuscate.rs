@@ -1,0 +1,345 @@
+//! End-to-end obfuscation: benchmark in → locked netlist + keys out.
+
+use crate::block::{insert_block, BlockMeta, ObfuscateError, RilBlockSpec};
+use crate::insertion::{select_gates, InsertionPolicy};
+use crate::key::KeyStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ril_netlist::{Netlist, Simulator};
+
+/// The conventional name of the scan-enable pin added to locked netlists.
+pub const SE_PIN: &str = "SE";
+
+/// Configurable obfuscation pipeline (builder pattern).
+///
+/// # Examples
+///
+/// ```
+/// use ril_core::{Obfuscator, RilBlockSpec};
+/// use ril_netlist::generators;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let host = generators::adder(8);
+/// let locked = Obfuscator::new(RilBlockSpec::size_8x8())
+///     .blocks(1)
+///     .seed(42)
+///     .obfuscate(&host)?;
+/// assert_eq!(locked.keys.len(), RilBlockSpec::size_8x8().keys_per_block());
+/// assert!(locked.verify(32)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Obfuscator {
+    spec: RilBlockSpec,
+    blocks: usize,
+    policy: InsertionPolicy,
+    seed: u64,
+}
+
+impl Obfuscator {
+    /// Creates an obfuscator inserting one block of the given shape.
+    pub fn new(spec: RilBlockSpec) -> Obfuscator {
+        Obfuscator {
+            spec,
+            blocks: 1,
+            policy: InsertionPolicy::Random,
+            seed: 0,
+        }
+    }
+
+    /// Sets the number of RIL-Blocks to insert.
+    pub fn blocks(mut self, blocks: usize) -> Obfuscator {
+        self.blocks = blocks;
+        self
+    }
+
+    /// Sets the gate-selection policy.
+    pub fn policy(mut self, policy: InsertionPolicy) -> Obfuscator {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables the Scan-Enable obfuscation stage on every LUT.
+    pub fn scan_obfuscation(mut self, on: bool) -> Obfuscator {
+        self.spec.scan_obfuscation = on;
+        self
+    }
+
+    /// Sets the RNG seed (key values, routing configs, gate selection).
+    pub fn seed(mut self, seed: u64) -> Obfuscator {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the pipeline on `original`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObfuscateError`] when the host lacks enough independent
+    /// replaceable gates or a structural edit fails.
+    pub fn obfuscate(&self, original: &Netlist) -> Result<LockedCircuit, ObfuscateError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut locked = original.clone();
+        locked.set_name(format!("{}_locked", original.name()));
+        let se_net = if self.spec.scan_obfuscation {
+            Some(locked.add_input(SE_PIN).map_err(ObfuscateError::Netlist)?)
+        } else {
+            None
+        };
+        let mut keys = KeyStore::new();
+        let mut block_meta = Vec::with_capacity(self.blocks);
+        for b in 0..self.blocks {
+            let gates = select_gates(&locked, self.spec.luts(), self.policy, &mut rng)?;
+            let meta =
+                insert_block(&mut locked, &mut keys, b, &self.spec, &gates, se_net, &mut rng)?;
+            block_meta.push(meta);
+        }
+        debug_assert!(locked.validate().is_ok());
+        Ok(LockedCircuit {
+            original: original.clone(),
+            netlist: locked,
+            keys,
+            spec: self.spec,
+            blocks: self.blocks,
+            block_meta,
+        })
+    }
+}
+
+/// An obfuscated design: the locked netlist, its correct key, and the
+/// pristine original (the defender's view; attacks only see `netlist` plus
+/// an oracle).
+#[derive(Debug, Clone)]
+pub struct LockedCircuit {
+    /// The pre-obfuscation netlist.
+    pub original: Netlist,
+    /// The locked netlist (key inputs declared as `KEYINPUT`s).
+    pub netlist: Netlist,
+    /// The correct key (tamper-proof memory contents).
+    pub keys: KeyStore,
+    /// Block shape used.
+    pub spec: RilBlockSpec,
+    /// Number of blocks inserted.
+    pub blocks: usize,
+    /// Per-block metadata (key layout, output ports) for dynamic morphing.
+    pub block_meta: Vec<BlockMeta>,
+}
+
+impl LockedCircuit {
+    /// Verifies functional equivalence of the locked circuit under the
+    /// correct key (SE = 0) against the original, over `patterns` random
+    /// 64-pattern words per input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    pub fn verify(&self, patterns: usize) -> Result<bool, ril_netlist::NetlistError> {
+        self.equivalent_under_key(self.keys.bits(), patterns)
+    }
+
+    /// Like [`LockedCircuit::verify`] but with an arbitrary candidate key —
+    /// the success criterion of an attack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` differs from the key width.
+    pub fn equivalent_under_key(
+        &self,
+        key: &[bool],
+        patterns: usize,
+    ) -> Result<bool, ril_netlist::NetlistError> {
+        assert_eq!(key.len(), self.keys.len(), "key width mismatch");
+        let mut sim_orig = Simulator::new(&self.original)?;
+        let mut sim_lock = Simulator::new(&self.netlist)?;
+        let kw: Vec<u64> = key.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        let n_data_orig = self.original.data_inputs().len();
+        let has_se = self.netlist.net_id(SE_PIN).is_some();
+        let mut rng = StdRng::seed_from_u64(0xE0_5EED);
+        for _ in 0..patterns {
+            let data: Vec<u64> = (0..n_data_orig).map(|_| rng.gen()).collect();
+            let mut data_lock = data.clone();
+            if has_se {
+                data_lock.push(0);
+            }
+            let o1 = sim_orig.eval_words(&self.original, &data, &[]);
+            let o2 = sim_lock.eval_words(&self.netlist, &data_lock, &kw);
+            if o1 != o2 {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// *Formally* verifies equivalence under a candidate key with the
+    /// SAT-based equivalence checker: key inputs are pinned to `key`, the
+    /// `SE` pin (if present) to 0, and the miter must be UNSAT. Stronger
+    /// than the random-pattern [`LockedCircuit::verify`] but costlier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates equivalence-checking errors (port mismatches cannot
+    /// occur for circuits produced by [`Obfuscator`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` differs from the key width.
+    pub fn verify_formal(
+        &self,
+        key: &[bool],
+        timeout: Option<std::time::Duration>,
+    ) -> Result<ril_sat::EquivResult, ril_sat::EquivError> {
+        assert_eq!(key.len(), self.keys.len(), "key width mismatch");
+        let mut fixed: Vec<(String, bool)> = self
+            .netlist
+            .key_inputs()
+            .iter()
+            .zip(key)
+            .map(|(&n, &v)| (self.netlist.net(n).name().to_string(), v))
+            .collect();
+        if self.netlist.net_id(SE_PIN).is_some() {
+            fixed.push((SE_PIN.to_string(), false));
+        }
+        let options = ril_sat::EquivOptions {
+            timeout,
+            ignore_inputs: Vec::new(),
+            fixed_inputs: fixed,
+        };
+        ril_sat::check_equivalence(&self.original, &self.netlist, &options)
+    }
+
+    /// Gate-count overhead of the locking (locked − original).
+    pub fn gate_overhead(&self) -> usize {
+        self.netlist.gate_count().saturating_sub(self.original.gate_count())
+    }
+
+    /// Key width.
+    pub fn key_width(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ril_netlist::generators;
+
+    #[test]
+    fn single_2x2_block_end_to_end() {
+        let host = generators::adder(8);
+        let locked = Obfuscator::new(RilBlockSpec::size_2x2())
+            .seed(7)
+            .obfuscate(&host)
+            .unwrap();
+        assert!(locked.verify(16).unwrap());
+        assert_eq!(locked.key_width(), 5);
+        assert!(locked.gate_overhead() > 0);
+    }
+
+    #[test]
+    fn multiple_blocks_accumulate_keys() {
+        let host = generators::multiplier(6);
+        let locked = Obfuscator::new(RilBlockSpec::size_2x2())
+            .blocks(10)
+            .seed(3)
+            .obfuscate(&host)
+            .unwrap();
+        assert_eq!(locked.key_width(), 10 * 5);
+        assert_eq!(locked.blocks, 10);
+        assert!(locked.verify(16).unwrap());
+    }
+
+    #[test]
+    fn large_blocks_with_scan_on_real_benchmark() {
+        let host = generators::benchmark("c7552").unwrap();
+        let locked = Obfuscator::new(RilBlockSpec::size_8x8x8())
+            .blocks(2)
+            .scan_obfuscation(true)
+            .seed(99)
+            .obfuscate(&host)
+            .unwrap();
+        locked.netlist.validate().unwrap();
+        assert!(locked.verify(8).unwrap());
+        let per_block = RilBlockSpec::size_8x8x8().with_scan(true).keys_per_block();
+        assert_eq!(locked.key_width(), 2 * per_block);
+    }
+
+    #[test]
+    fn wrong_key_usually_inequivalent() {
+        let host = generators::adder(8);
+        let locked = Obfuscator::new(RilBlockSpec::size_8x8())
+            .seed(21)
+            .obfuscate(&host)
+            .unwrap();
+        // Flip one LUT config bit: function changes.
+        let mut wrong = locked.keys.bits().to_vec();
+        let lut_bits = locked
+            .keys
+            .indices_where(|k| matches!(k, crate::key::KeyBitKind::LutConfig { .. }));
+        wrong[lut_bits[0]] = !wrong[lut_bits[0]];
+        assert!(!locked.equivalent_under_key(&wrong, 32).unwrap());
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let host = generators::adder(8);
+        let a = Obfuscator::new(RilBlockSpec::size_2x2()).seed(5).obfuscate(&host).unwrap();
+        let b = Obfuscator::new(RilBlockSpec::size_2x2()).seed(5).obfuscate(&host).unwrap();
+        assert_eq!(
+            ril_netlist::write_bench(&a.netlist),
+            ril_netlist::write_bench(&b.netlist)
+        );
+        assert_eq!(a.keys, b.keys);
+        let c = Obfuscator::new(RilBlockSpec::size_2x2()).seed(6).obfuscate(&host).unwrap();
+        assert_ne!(
+            ril_netlist::write_bench(&a.netlist),
+            ril_netlist::write_bench(&c.netlist)
+        );
+    }
+
+    #[test]
+    fn formal_verification_certifies_correct_key_and_refutes_wrong_one() {
+        let host = generators::adder(8);
+        let locked = Obfuscator::new(RilBlockSpec::size_2x2())
+            .blocks(2)
+            .scan_obfuscation(true)
+            .seed(8)
+            .obfuscate(&host)
+            .unwrap();
+        let ok = locked
+            .verify_formal(locked.keys.bits(), Some(std::time::Duration::from_secs(30)))
+            .unwrap();
+        assert_eq!(ok, ril_sat::EquivResult::Equivalent);
+        // Flip one LUT config bit: a concrete counterexample must exist.
+        let mut wrong = locked.keys.bits().to_vec();
+        let lut_bits =
+            locked.keys.indices_where(|k| matches!(k, crate::key::KeyBitKind::LutConfig { .. }));
+        wrong[lut_bits[0]] = !wrong[lut_bits[0]];
+        match locked
+            .verify_formal(&wrong, Some(std::time::Duration::from_secs(30)))
+            .unwrap()
+        {
+            ril_sat::EquivResult::Inequivalent { counterexample } => {
+                assert_eq!(counterexample.len(), host.data_inputs().len());
+            }
+            other => panic!("wrong key verified: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn locked_bench_round_trips_with_keyinputs() {
+        let host = generators::adder(6);
+        let locked = Obfuscator::new(RilBlockSpec::size_2x2())
+            .seed(1)
+            .obfuscate(&host)
+            .unwrap();
+        let text = ril_netlist::write_bench(&locked.netlist);
+        let back = ril_netlist::parse_bench("locked", &text).unwrap();
+        assert_eq!(back.key_inputs().len(), locked.key_width());
+        assert_eq!(back.gate_count(), locked.netlist.gate_count());
+    }
+}

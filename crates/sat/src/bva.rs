@@ -1,0 +1,243 @@
+//! Attack-side CNF preprocessing.
+//!
+//! Two passes from the paper's Section IV-B experimental setup:
+//!
+//! * [`bounded_variable_addition`] — a simplified Bounded Variable Addition
+//!   pass: frequently co-occurring literal *pairs* are factored through a
+//!   fresh definition variable, shrinking the formula the way the InterLock
+//!   attack pipeline \[11\] does before solving.
+//! * [`one_hot_selection`] — the "one-layer linear encoding" for routing
+//!   networks: instead of the multi-stage MUX-tree CNF of a permutation
+//!   network, each output picks among all `N` inputs through a single layer
+//!   of one-hot-keyed selectors. The attack uses this to flatten banyan
+//!   routing obfuscation into an easier search space.
+
+use crate::cnf::Cnf;
+use crate::lit::{Lit, Var};
+use std::collections::HashMap;
+
+/// Report of a [`bounded_variable_addition`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BvaReport {
+    /// Fresh definition variables introduced.
+    pub new_vars: usize,
+    /// Literal occurrences removed (net of the added definitions).
+    pub literals_saved: isize,
+    /// Factoring rounds applied.
+    pub rounds: usize,
+}
+
+/// Factors literal pairs that co-occur in at least `min_occurrences`
+/// clauses: each such pair `(l1, l2)` gets a fresh variable `x ↔ l1 ∨ l2`,
+/// and every clause containing both literals is rewritten to use `x`.
+/// Repeats until no profitable pair remains or `max_rounds` is hit.
+///
+/// This is the pair-width restriction of the BVA algorithm; it preserves
+/// satisfiability and models over the original variables.
+pub fn bounded_variable_addition(
+    cnf: &mut Cnf,
+    min_occurrences: usize,
+    max_rounds: usize,
+) -> BvaReport {
+    let min_occurrences = min_occurrences.max(4);
+    let mut report = BvaReport::default();
+    for _ in 0..max_rounds {
+        // Count co-occurring literal pairs.
+        let mut pair_counts: HashMap<(Lit, Lit), usize> = HashMap::new();
+        for clause in cnf.clauses() {
+            if clause.len() < 2 || clause.len() > 16 {
+                continue; // pair mining in huge clauses is quadratic noise
+            }
+            for i in 0..clause.len() {
+                for j in i + 1..clause.len() {
+                    let (a, b) = if clause[i] < clause[j] {
+                        (clause[i], clause[j])
+                    } else {
+                        (clause[j], clause[i])
+                    };
+                    *pair_counts.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+        let best = pair_counts
+            .into_iter()
+            .max_by_key(|&(pair, count)| (count, std::cmp::Reverse(pair)));
+        let Some(((l1, l2), count)) = best else { break };
+        if count < min_occurrences {
+            break;
+        }
+        // Introduce x ↔ l1 ∨ l2 and rewrite.
+        let x = cnf.new_var().positive();
+        let mut rewritten = 0usize;
+        for clause in cnf.clauses_mut().iter_mut() {
+            if clause.len() < 2 || clause.len() > 16 {
+                continue;
+            }
+            if clause.contains(&l1) && clause.contains(&l2) {
+                clause.retain(|&l| l != l1 && l != l2);
+                clause.push(x);
+                rewritten += 1;
+            }
+        }
+        cnf.add_clause([!l1, x]);
+        cnf.add_clause([!l2, x]);
+        cnf.add_clause([!x, l1, l2]);
+        report.new_vars += 1;
+        report.rounds += 1;
+        report.literals_saved += rewritten as isize - 5; // pairs removed − defs added
+    }
+    report
+}
+
+/// Builds the one-layer one-hot selection encoding of an `N`-input,
+/// `N`-output routing element.
+///
+/// For each output `o`, fresh one-hot selector variables `s[o][i]` are
+/// created with clauses enforcing: at least one selected, at most one
+/// selected, and `s[o][i] → (out[o] ↔ in[i])`. When `permutation` is true,
+/// "each input used at most once" clauses are added, restricting the
+/// routing element to permutations (banyan networks route permutations).
+///
+/// Returns the selector variable matrix `s[output][input]`.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != outputs.len()`.
+pub fn one_hot_selection(
+    cnf: &mut Cnf,
+    inputs: &[Lit],
+    outputs: &[Lit],
+    permutation: bool,
+) -> Vec<Vec<Var>> {
+    assert_eq!(inputs.len(), outputs.len(), "routing element must be square");
+    let n = inputs.len();
+    let sel: Vec<Vec<Var>> = (0..n).map(|_| cnf.new_vars(n)).collect();
+    for (o, &out) in outputs.iter().enumerate() {
+        // At least one input selected.
+        cnf.add_clause(sel[o].iter().map(|v| v.positive()));
+        // At most one input selected.
+        for i in 0..n {
+            for j in i + 1..n {
+                cnf.add_clause([sel[o][i].negative(), sel[o][j].negative()]);
+            }
+        }
+        // Selection semantics.
+        for (i, &inp) in inputs.iter().enumerate() {
+            let s = sel[o][i].positive();
+            cnf.add_clause([!s, !inp, out]);
+            cnf.add_clause([!s, inp, !out]);
+        }
+    }
+    if permutation {
+        for i in 0..n {
+            for o1 in 0..n {
+                for o2 in o1 + 1..n {
+                    cnf.add_clause([sel[o1][i].negative(), sel[o2][i].negative()]);
+                }
+            }
+        }
+    }
+    sel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{Outcome, Solver};
+
+    fn models_over(cnf: &Cnf, n_orig: usize) -> Vec<Vec<bool>> {
+        // Enumerate all models projected onto the first n_orig vars via
+        // brute force over original vars + solving the rest.
+        let mut out = Vec::new();
+        for m in 0u64..(1 << n_orig) {
+            let assumptions: Vec<Lit> = (0..n_orig)
+                .map(|i| Lit::new(i, (m >> i) & 1 == 0))
+                .collect();
+            let mut s = Solver::from_cnf(cnf);
+            if s.solve_with_assumptions(&assumptions) == Outcome::Sat {
+                out.push((0..n_orig).map(|i| (m >> i) & 1 == 1).collect());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn bva_preserves_models() {
+        // Formula with a frequently repeated pair (x0 ∨ x1).
+        let mut cnf = Cnf::new();
+        let v = cnf.new_vars(7);
+        for i in 2..7 {
+            cnf.add_clause([v[0].positive(), v[1].positive(), v[i].positive()]);
+            cnf.add_clause([v[0].positive(), v[1].positive(), v[i].negative()]);
+        }
+        let n_orig = cnf.num_vars();
+        let before = models_over(&cnf, n_orig);
+        let mut processed = cnf.clone();
+        let report = bounded_variable_addition(&mut processed, 4, 8);
+        assert!(report.new_vars >= 1, "pair should be factored");
+        let after = models_over(&processed, n_orig);
+        assert_eq!(before, after, "BVA must preserve projected models");
+        assert!(processed.num_literals() < cnf.num_literals() + 6);
+    }
+
+    #[test]
+    fn bva_no_op_below_threshold() {
+        let mut cnf = Cnf::new();
+        let v = cnf.new_vars(3);
+        cnf.add_clause([v[0].positive(), v[1].positive()]);
+        cnf.add_clause([v[1].negative(), v[2].positive()]);
+        let before = cnf.clone();
+        let report = bounded_variable_addition(&mut cnf, 4, 8);
+        assert_eq!(report.new_vars, 0);
+        assert_eq!(cnf, before);
+    }
+
+    #[test]
+    fn one_hot_routes_any_permutation() {
+        let mut cnf = Cnf::new();
+        let ins: Vec<Lit> = cnf.new_vars(3).iter().map(|v| v.positive()).collect();
+        let outs: Vec<Lit> = cnf.new_vars(3).iter().map(|v| v.positive()).collect();
+        let sel = one_hot_selection(&mut cnf, &ins, &outs, true);
+        // Force input pattern 1,0,1 and demand outputs 0,1,1 — the
+        // permutation (0→1, 1→0, 2→2) realizes it, so SAT.
+        let mut s = Solver::from_cnf(&cnf);
+        let assumptions = vec![
+            ins[0], !ins[1], ins[2], !outs[0], outs[1], outs[2],
+        ];
+        assert_eq!(s.solve_with_assumptions(&assumptions), Outcome::Sat);
+        // The chosen selectors form a permutation matrix.
+        let model = s.model().to_vec();
+        for o in 0..3 {
+            let row: usize = (0..3).filter(|&i| model[sel[o][i].index()]).count();
+            assert_eq!(row, 1, "output {o} selects exactly one input");
+        }
+        for i in 0..3 {
+            let col: usize = (0..3).filter(|&o| model[sel[o][i].index()]).count();
+            assert_eq!(col, 1, "input {i} used exactly once");
+        }
+    }
+
+    #[test]
+    fn one_hot_permutation_rejects_duplication() {
+        let mut cnf = Cnf::new();
+        let ins: Vec<Lit> = cnf.new_vars(2).iter().map(|v| v.positive()).collect();
+        let outs: Vec<Lit> = cnf.new_vars(2).iter().map(|v| v.positive()).collect();
+        one_hot_selection(&mut cnf, &ins, &outs, true);
+        // Inputs 1,0 — outputs 1,1 would need input 0 twice: UNSAT.
+        let mut s = Solver::from_cnf(&cnf);
+        assert_eq!(
+            s.solve_with_assumptions(&[ins[0], !ins[1], outs[0], outs[1]]),
+            Outcome::Unsat
+        );
+        // Without the permutation restriction it becomes SAT.
+        let mut cnf2 = Cnf::new();
+        let ins2: Vec<Lit> = cnf2.new_vars(2).iter().map(|v| v.positive()).collect();
+        let outs2: Vec<Lit> = cnf2.new_vars(2).iter().map(|v| v.positive()).collect();
+        one_hot_selection(&mut cnf2, &ins2, &outs2, false);
+        let mut s2 = Solver::from_cnf(&cnf2);
+        assert_eq!(
+            s2.solve_with_assumptions(&[ins2[0], !ins2[1], outs2[0], outs2[1]]),
+            Outcome::Sat
+        );
+    }
+}

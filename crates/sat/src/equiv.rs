@@ -1,0 +1,325 @@
+//! SAT-based combinational equivalence checking.
+//!
+//! Builds the classic miter between two netlists matched by port *names*
+//! and asks the CDCL solver whether any input makes the outputs differ —
+//! the formal upgrade of random-pattern verification, used by the locking
+//! flow to certify `locked(correct key) ≡ original` and by attack
+//! evaluation to certify recovered keys.
+
+use crate::cnf::Cnf;
+use crate::lit::{Lit, Var};
+use crate::solver::{Outcome, Solver, SolverConfig};
+use crate::tseitin::{encode_netlist_into, TseitinError};
+use ril_netlist::{NetId, Netlist};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// Verdict of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivResult {
+    /// The circuits agree on every input (UNSAT miter).
+    Equivalent,
+    /// A distinguishing input was found (values in the *shared* input
+    /// order of [`check_equivalence`]'s report).
+    Inequivalent {
+        /// Counterexample input assignment, shared-input order.
+        counterexample: Vec<bool>,
+    },
+    /// The solve budget expired first.
+    Unknown,
+}
+
+/// Errors from equivalence checking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EquivError {
+    /// Port sets do not line up (message names the offender).
+    PortMismatch(String),
+    /// Encoding failed (sequential netlist, etc.).
+    Encode(TseitinError),
+}
+
+impl fmt::Display for EquivError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EquivError::PortMismatch(m) => write!(f, "port mismatch: {m}"),
+            EquivError::Encode(e) => write!(f, "encoding error: {e}"),
+        }
+    }
+}
+
+impl Error for EquivError {}
+
+impl From<TseitinError> for EquivError {
+    fn from(e: TseitinError) -> Self {
+        EquivError::Encode(e)
+    }
+}
+
+/// Options for [`check_equivalence`].
+#[derive(Debug, Clone, Default)]
+pub struct EquivOptions {
+    /// Wall-clock budget for the solve.
+    pub timeout: Option<Duration>,
+    /// Inputs of either circuit that are allowed to be missing from the
+    /// other; they are treated as free (universally quantified) on their
+    /// own side. Useful for ignoring scan/test pins.
+    pub ignore_inputs: Vec<String>,
+    /// Per-input fixed values (by name), e.g. `SE = 0` for functional-mode
+    /// checks of scan-obfuscated designs.
+    pub fixed_inputs: Vec<(String, bool)>,
+}
+
+/// Checks combinational equivalence of `left` and `right`, matching inputs
+/// and outputs by name.
+///
+/// Inputs present in only one circuit must be listed in
+/// [`EquivOptions::ignore_inputs`] or pinned in
+/// [`EquivOptions::fixed_inputs`]; outputs must match exactly by name.
+///
+/// # Errors
+///
+/// Returns [`EquivError::PortMismatch`] on name mismatches and
+/// [`EquivError::Encode`] for sequential netlists.
+pub fn check_equivalence(
+    left: &Netlist,
+    right: &Netlist,
+    options: &EquivOptions,
+) -> Result<EquivResult, EquivError> {
+    // --- Match outputs by name -------------------------------------------
+    let mut right_outputs: HashMap<&str, NetId> = right
+        .outputs()
+        .iter()
+        .map(|&o| (right.net(o).name(), o))
+        .collect();
+    let mut out_pairs: Vec<(NetId, NetId)> = Vec::new();
+    for &o in left.outputs() {
+        let name = left.net(o).name();
+        match right_outputs.remove(name) {
+            Some(ro) => out_pairs.push((o, ro)),
+            None => {
+                return Err(EquivError::PortMismatch(format!(
+                    "output `{name}` missing on the right"
+                )))
+            }
+        }
+    }
+    if let Some((name, _)) = right_outputs.into_iter().next() {
+        return Err(EquivError::PortMismatch(format!(
+            "output `{name}` missing on the left"
+        )));
+    }
+
+    // --- Match inputs by name --------------------------------------------
+    let fixed: HashMap<&str, bool> = options
+        .fixed_inputs
+        .iter()
+        .map(|(n, v)| (n.as_str(), *v))
+        .collect();
+    let ignored: Vec<&str> = options.ignore_inputs.iter().map(String::as_str).collect();
+    let mut cnf = Cnf::new();
+    let mut shared_names: Vec<String> = Vec::new();
+    let mut shared_vars: Vec<Var> = Vec::new();
+    let mut pins_left: HashMap<NetId, Var> = HashMap::new();
+    let mut pins_right: HashMap<NetId, Var> = HashMap::new();
+    let right_inputs: HashMap<&str, NetId> = right
+        .inputs()
+        .iter()
+        .map(|&i| (right.net(i).name(), i))
+        .collect();
+
+    let mut assumptions: Vec<Lit> = Vec::new();
+    for &li in left.inputs() {
+        let name = left.net(li).name().to_string();
+        let var = cnf.new_var();
+        pins_left.insert(li, var);
+        if let Some(&ri) = right_inputs.get(name.as_str()) {
+            pins_right.insert(ri, var);
+            shared_names.push(name.clone());
+            shared_vars.push(var);
+        } else if !ignored.contains(&name.as_str()) && !fixed.contains_key(name.as_str()) {
+            return Err(EquivError::PortMismatch(format!(
+                "input `{name}` missing on the right (ignore or fix it)"
+            )));
+        }
+        if let Some(&v) = fixed.get(name.as_str()) {
+            assumptions.push(var.lit(!v));
+        }
+    }
+    for &ri in right.inputs() {
+        let name = right.net(ri).name();
+        if pins_right.contains_key(&ri) {
+            continue;
+        }
+        let var = cnf.new_var();
+        pins_right.insert(ri, var);
+        if let Some(&v) = fixed.get(name) {
+            assumptions.push(var.lit(!v));
+        } else if !ignored.contains(&name) {
+            return Err(EquivError::PortMismatch(format!(
+                "input `{name}` missing on the left (ignore or fix it)"
+            )));
+        }
+    }
+
+    // --- Miter --------------------------------------------------------------
+    let vars_l = encode_netlist_into(left, &mut cnf, &pins_left)?;
+    let vars_r = encode_netlist_into(right, &mut cnf, &pins_right)?;
+    let mut diff = Vec::with_capacity(out_pairs.len());
+    for (lo, ro) in out_pairs {
+        let x = cnf.new_var().positive();
+        let a = vars_l.lit(lo);
+        let b = vars_r.lit(ro);
+        cnf.add_clause([!x, a, b]);
+        cnf.add_clause([!x, !a, !b]);
+        cnf.add_clause([x, !a, b]);
+        cnf.add_clause([x, a, !b]);
+        diff.push(x);
+    }
+    cnf.add_clause(diff);
+
+    let mut solver = Solver::from_cnf_with_config(
+        &cnf,
+        SolverConfig {
+            timeout: options.timeout,
+            ..SolverConfig::default()
+        },
+    );
+    Ok(match solver.solve_with_assumptions(&assumptions) {
+        Outcome::Unsat => EquivResult::Equivalent,
+        Outcome::Unknown => EquivResult::Unknown,
+        Outcome::Sat => {
+            let model = solver.model();
+            EquivResult::Inequivalent {
+                counterexample: shared_vars.iter().map(|v| model[v.index()]).collect(),
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ril_netlist::{generators, parse_bench, GateKind, Netlist};
+
+    fn and_circuit(name: &str, kind: GateKind) -> Netlist {
+        let mut nl = Netlist::new(name);
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.add_gate(kind, &[a, b], y).unwrap();
+        nl.mark_output(y);
+        nl
+    }
+
+    #[test]
+    fn identical_circuits_are_equivalent() {
+        let l = and_circuit("l", GateKind::And);
+        let r = and_circuit("r", GateKind::And);
+        assert_eq!(
+            check_equivalence(&l, &r, &EquivOptions::default()).unwrap(),
+            EquivResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn different_gates_yield_counterexample() {
+        let l = and_circuit("l", GateKind::And);
+        let r = and_circuit("r", GateKind::Or);
+        match check_equivalence(&l, &r, &EquivOptions::default()).unwrap() {
+            EquivResult::Inequivalent { counterexample } => {
+                // AND ≠ OR exactly when inputs differ from each other.
+                assert_eq!(counterexample.len(), 2);
+                assert_ne!(counterexample[0], counterexample[1]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn structurally_different_but_equal_adders() {
+        // DeMorgan: NAND(a,b) ≡ OR(!a,!b).
+        let l = and_circuit("l", GateKind::Nand);
+        let mut r = Netlist::new("r");
+        let a = r.add_input("a").unwrap();
+        let b = r.add_input("b").unwrap();
+        let na = r.add_gate_fresh(GateKind::Not, &[a], "n").unwrap();
+        let nb = r.add_gate_fresh(GateKind::Not, &[b], "n").unwrap();
+        let y = r.add_net("y").unwrap();
+        r.add_gate(GateKind::Or, &[na, nb], y).unwrap();
+        r.mark_output(y);
+        assert_eq!(
+            check_equivalence(&l, &r, &EquivOptions::default()).unwrap(),
+            EquivResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn port_mismatches_are_reported() {
+        let l = and_circuit("l", GateKind::And);
+        let mut r = and_circuit("r", GateKind::And);
+        r.add_input("extra").unwrap();
+        let err = check_equivalence(&l, &r, &EquivOptions::default()).unwrap_err();
+        assert!(matches!(err, EquivError::PortMismatch(_)));
+        // Ignoring the extra pin makes it pass (the pin is unused).
+        let opts = EquivOptions {
+            ignore_inputs: vec!["extra".into()],
+            ..EquivOptions::default()
+        };
+        assert_eq!(
+            check_equivalence(&l, &r, &opts).unwrap(),
+            EquivResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn fixed_inputs_model_functional_mode() {
+        // right = left XOR se: equivalent only when se is pinned to 0.
+        let l = and_circuit("l", GateKind::And);
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(se)\nOUTPUT(y)\nt = AND(a, b)\ny = XOR(t, se)\n";
+        let r = parse_bench("r", text).unwrap();
+        let err = check_equivalence(&l, &r, &EquivOptions::default()).unwrap_err();
+        assert!(matches!(err, EquivError::PortMismatch(_)));
+        let opts = EquivOptions {
+            fixed_inputs: vec![("se".into(), false)],
+            ..EquivOptions::default()
+        };
+        assert_eq!(
+            check_equivalence(&l, &r, &opts).unwrap(),
+            EquivResult::Equivalent
+        );
+        let opts = EquivOptions {
+            fixed_inputs: vec![("se".into(), true)],
+            ..EquivOptions::default()
+        };
+        assert!(matches!(
+            check_equivalence(&l, &r, &opts).unwrap(),
+            EquivResult::Inequivalent { .. }
+        ));
+    }
+
+    #[test]
+    fn real_benchmark_is_self_equivalent() {
+        let nl = generators::adder(8);
+        assert_eq!(
+            check_equivalence(&nl, &nl.clone(), &EquivOptions::default()).unwrap(),
+            EquivResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn tiny_timeout_reports_unknown_or_answers() {
+        let nl = generators::multiplier(6);
+        let opts = EquivOptions {
+            timeout: Some(Duration::from_nanos(1)),
+            ..EquivOptions::default()
+        };
+        // With a 1 ns budget the solver may still finish trivially (both
+        // copies identical), but must never crash or mis-answer.
+        match check_equivalence(&nl, &nl.clone(), &opts).unwrap() {
+            EquivResult::Equivalent | EquivResult::Unknown => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

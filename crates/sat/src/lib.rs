@@ -1,0 +1,40 @@
+//! # ril-sat — CDCL SAT solver substrate
+//!
+//! A from-scratch conflict-driven clause-learning solver ([`Solver`]) with
+//! the architecture of the CaDiCaL-class solvers the paper attacks with:
+//! two-watched-literal propagation, first-UIP learning, VSIDS + phase
+//! saving, Luby restarts and learnt-database reduction. Companion modules
+//! provide CNF formulas with DIMACS I/O ([`Cnf`]), Tseitin encoding of
+//! gate-level netlists ([`encode_netlist`]), and the attack-side
+//! preprocessing passes (BVA and one-layer one-hot routing encoding,
+//! [`bva`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ril_sat::{Cnf, Solver, Outcome};
+//!
+//! let mut cnf = Cnf::new();
+//! let a = cnf.new_var();
+//! let b = cnf.new_var();
+//! cnf.add_clause([a.positive(), b.positive()]);
+//! cnf.add_clause([a.negative(), b.negative()]);
+//! let mut solver = Solver::from_cnf(&cnf);
+//! assert_eq!(solver.solve(), Outcome::Sat);
+//! assert_ne!(solver.model()[a.index()], solver.model()[b.index()]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bva;
+pub mod equiv;
+pub mod cnf;
+pub mod lit;
+pub mod solver;
+pub mod tseitin;
+
+pub use cnf::{Cnf, ParseDimacsError};
+pub use equiv::{check_equivalence, EquivError, EquivOptions, EquivResult};
+pub use lit::{LBool, Lit, Var};
+pub use solver::{Outcome, Solver, SolverConfig, SolverStats};
+pub use tseitin::{encode_netlist, encode_netlist_into, CircuitVars, TseitinError};

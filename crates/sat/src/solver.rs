@@ -1,0 +1,1096 @@
+//! Conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! A MiniSat-style architecture: two-watched-literal propagation, first-UIP
+//! conflict analysis with non-chronological backjumping, VSIDS decision
+//! ordering with phase saving, Luby-sequence restarts and LBD/activity-based
+//! learnt-clause database reduction — the same algorithm family as the
+//! CaDiCaL solver the paper uses (Section IV, \[18\]). Feature toggles in
+//! [`SolverConfig`] support the solver-ablation bench.
+
+use crate::cnf::Cnf;
+use crate::lit::{LBool, Lit, Var};
+use std::time::{Duration, Instant};
+
+const NO_REASON: u32 = u32::MAX;
+
+/// Result of a solve call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// A satisfying assignment was found (read it with [`Solver::model`]).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// A resource budget (time or conflicts) expired first. This is how the
+    /// paper's tables report `∞`.
+    Unknown,
+}
+
+/// Tunable solver behaviour. The toggles exist for the ablation study; the
+/// defaults are the full-strength configuration.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Multiplicative VSIDS activity decay (applied per conflict).
+    pub vsids_decay: f64,
+    /// Enable VSIDS ordering; when false, decisions pick the lowest-index
+    /// unassigned variable (DPLL-style static order).
+    pub vsids: bool,
+    /// Enable Luby restarts.
+    pub restarts: bool,
+    /// Enable phase saving.
+    pub phase_saving: bool,
+    /// Enable learnt-clause minimization.
+    pub clause_minimization: bool,
+    /// Enable learnt-database reduction.
+    pub reduce_db: bool,
+    /// Abort with [`Outcome::Unknown`] after this many conflicts.
+    pub max_conflicts: Option<u64>,
+    /// Abort with [`Outcome::Unknown`] after this wall-clock budget.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            vsids_decay: 0.95,
+            vsids: true,
+            restarts: true,
+            phase_saving: true,
+            clause_minimization: true,
+            reduce_db: true,
+            max_conflicts: None,
+            timeout: None,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// A deliberately weakened configuration resembling older DPLL-era
+    /// solvers (static order, no restarts/phase saving/minimization) —
+    /// the "lingeling-class vs CaDiCaL-class" ablation baseline.
+    pub fn weakened() -> SolverConfig {
+        SolverConfig {
+            vsids: false,
+            restarts: false,
+            phase_saving: false,
+            clause_minimization: false,
+            reduce_db: false,
+            ..SolverConfig::default()
+        }
+    }
+}
+
+/// Search statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Decision count.
+    pub decisions: u64,
+    /// Conflict count (≈ DPLL backtracks; the quantity the paper's
+    /// SAT-hardness argument is about).
+    pub conflicts: u64,
+    /// Unit propagations performed.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses added.
+    pub learned: u64,
+    /// Learnt clauses deleted by database reduction.
+    pub deleted: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+    lbd: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    clause: u32,
+    blocker: Lit,
+}
+
+/// Indexed binary max-heap ordered by external activity scores.
+#[derive(Debug, Clone, Default)]
+struct VarHeap {
+    heap: Vec<Var>,
+    pos: Vec<Option<u32>>,
+}
+
+impl VarHeap {
+    fn grow(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, None);
+        }
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.pos.get(v.index()).copied().flatten().is_some()
+    }
+
+    fn insert(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.grow(v.index() + 1);
+        self.pos[v.index()] = Some(self.heap.len() as u32);
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop_max(&mut self, act: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top.index()] = None;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = Some(0);
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn bumped(&mut self, v: Var, act: &[f64]) {
+        if let Some(i) = self.pos.get(v.index()).copied().flatten() {
+            self.sift_up(i as usize, act);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].index()] <= act[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l].index()] > act[self.heap[best].index()] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].index()] > act[self.heap[best].index()] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].index()] = Some(i as u32);
+        self.pos[self.heap[j].index()] = Some(j as u32);
+    }
+}
+
+/// A CDCL SAT solver instance.
+///
+/// # Examples
+///
+/// ```
+/// use ril_sat::{Cnf, Solver, Outcome};
+///
+/// let mut cnf = Cnf::new();
+/// let a = cnf.new_var();
+/// let b = cnf.new_var();
+/// cnf.add_clause([a.positive(), b.positive()]);
+/// cnf.add_clause([a.negative()]);
+/// let mut solver = Solver::from_cnf(&cnf);
+/// assert_eq!(solver.solve(), Outcome::Sat);
+/// assert_eq!(solver.model()[b.index()], true);
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    config: SolverConfig,
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    heap: VarHeap,
+    saved_phase: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    model: Vec<bool>,
+    stats: SolverStats,
+    start: Option<Instant>,
+    learnt_limit: f64,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with default configuration.
+    pub fn new() -> Solver {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with the given configuration.
+    pub fn with_config(config: SolverConfig) -> Solver {
+        Solver {
+            config,
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            heap: VarHeap::default(),
+            saved_phase: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            model: Vec::new(),
+            stats: SolverStats::default(),
+            start: None,
+            learnt_limit: 2000.0,
+        }
+    }
+
+    /// Creates a solver loaded with the clauses of `cnf`.
+    pub fn from_cnf(cnf: &Cnf) -> Solver {
+        Solver::from_cnf_with_config(cnf, SolverConfig::default())
+    }
+
+    /// Creates a configured solver loaded with the clauses of `cnf`.
+    pub fn from_cnf_with_config(cnf: &Cnf, config: SolverConfig) -> Solver {
+        let mut s = Solver::with_config(config);
+        s.reserve_vars(cnf.num_vars());
+        for clause in cnf.clauses() {
+            s.add_clause(clause.iter().copied());
+        }
+        s
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn reserve_vars(&mut self, n: usize) {
+        while self.assigns.len() < n {
+            self.new_var();
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.assigns.len());
+        self.assigns.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.saved_phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.grow(self.assigns.len());
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Updates the wall-clock budget for subsequent solve calls (the budget
+    /// is measured from the start of each call).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.config.timeout = timeout;
+    }
+
+    /// Updates the conflict budget for subsequent solve calls. The limit is
+    /// cumulative over the solver's lifetime statistics.
+    pub fn set_max_conflicts(&mut self, max_conflicts: Option<u64>) {
+        self.config.max_conflicts = max_conflicts;
+    }
+
+    /// Adds a clause. Tautologies are dropped, duplicate literals removed,
+    /// and literals already false at the top level deleted. Returns `false`
+    /// if the formula became trivially unsatisfiable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
+        if !self.ok {
+            return false;
+        }
+        debug_assert_eq!(self.decision_level(), 0, "add_clause at root only");
+        let mut clause: Vec<Lit> = lits.into_iter().collect();
+        for l in &clause {
+            self.reserve_vars(l.var().index() + 1);
+        }
+        clause.sort_unstable();
+        clause.dedup();
+        // Tautology / root-level simplification.
+        let mut simplified = Vec::with_capacity(clause.len());
+        for &l in &clause {
+            if clause.binary_search(&!l).is_ok() {
+                return true; // tautology: l and !l both present
+            }
+            match self.value_lit(l) {
+                LBool::True => return true, // already satisfied at root
+                LBool::False => continue,
+                LBool::Undef => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(simplified[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(simplified, false, 0);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> u32 {
+        let idx = self.clauses.len() as u32;
+        let w0 = Watcher {
+            clause: idx,
+            blocker: lits[1],
+        };
+        let w1 = Watcher {
+            clause: idx,
+            blocker: lits[0],
+        };
+        self.watches[(!lits[0]).index()].push(w0);
+        self.watches[(!lits[1]).index()].push(w1);
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+            lbd,
+        });
+        idx
+    }
+
+    fn value_var(&self, v: Var) -> LBool {
+        self.assigns[v.index()]
+    }
+
+    fn value_lit(&self, l: Lit) -> LBool {
+        match self.assigns[l.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => LBool::from_bool(l.target()),
+            LBool::False => LBool::from_bool(!l.target()),
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.value_lit(l), LBool::Undef);
+        let v = l.var();
+        self.assigns[v.index()] = LBool::from_bool(l.target());
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = reason;
+        self.trail.push(l);
+    }
+
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            // Watchers are filed under the *negation* of the watched
+            // literal, so `watches[p]` holds clauses whose watched literal
+            // `!p` was just falsified.
+            let false_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            let mut j = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.value_lit(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let ci = w.clause as usize;
+                if self.clauses[ci].deleted {
+                    continue; // drop watcher of deleted clause
+                }
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
+                let first = self.clauses[ci].lits[0];
+                let w_new = Watcher {
+                    clause: w.clause,
+                    blocker: first,
+                };
+                if first != w.blocker && self.value_lit(first) == LBool::True {
+                    ws[j] = w_new;
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[ci].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[ci].lits[k];
+                    if self.value_lit(lk) != LBool::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        let nw = !self.clauses[ci].lits[1];
+                        self.watches[nw.index()].push(w_new);
+                        continue 'watchers;
+                    }
+                }
+                // Unit or conflicting.
+                ws[j] = w_new;
+                j += 1;
+                if self.value_lit(first) == LBool::False {
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    ws.truncate(j);
+                    self.watches[p.index()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(w.clause);
+                }
+                self.enqueue(first, w.clause);
+            }
+            ws.truncate(j);
+            self.watches[p.index()] = ws;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.bumped(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, ci: usize) {
+        self.clauses[ci].activity += self.cla_inc;
+        if self.clauses[ci].activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis; returns (learnt clause, backjump level,
+    /// LBD).
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::new(0, false)]; // slot 0 = UIP
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let current = self.decision_level();
+        let mut to_clear: Vec<Var> = Vec::new();
+        loop {
+            debug_assert_ne!(confl, NO_REASON);
+            let ci = confl as usize;
+            if self.clauses[ci].learnt {
+                self.bump_clause(ci);
+            }
+            let start = if p.is_none() { 0 } else { 1 };
+            let len = self.clauses[ci].lits.len();
+            for j in start..len {
+                let q = self.clauses[ci].lits[j];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    to_clear.push(v);
+                    self.bump_var(v);
+                    if self.level[v.index()] >= current {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next trail literal to expand.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            p = Some(pl);
+            self.seen[pl.var().index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                break;
+            }
+            confl = self.reason[pl.var().index()];
+        }
+        learnt[0] = !p.expect("UIP found");
+
+        // Optional clause minimization (basic self-subsumption).
+        if self.config.clause_minimization {
+            let mut keep = vec![true; learnt.len()];
+            for (i, &l) in learnt.iter().enumerate().skip(1) {
+                let r = self.reason[l.var().index()];
+                if r == NO_REASON {
+                    continue;
+                }
+                let redundant = self.clauses[r as usize].lits.iter().all(|&q| {
+                    q.var() == l.var()
+                        || self.seen[q.var().index()]
+                        || self.level[q.var().index()] == 0
+                });
+                if redundant {
+                    keep[i] = false;
+                }
+            }
+            let mut idx = 0;
+            learnt.retain(|_| {
+                let k = keep[idx];
+                idx += 1;
+                k
+            });
+        }
+
+        // LBD = distinct decision levels among learnt literals.
+        let mut levels: Vec<u32> = learnt
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        let lbd = levels.len() as u32;
+
+        // Clear seen flags (everything set during this analysis).
+        for v in to_clear {
+            self.seen[v.index()] = false;
+        }
+
+        // Backjump level: highest level among learnt[1..].
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, bt, lbd)
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            if self.config.phase_saving {
+                self.saved_phase[v.index()] = l.target();
+            }
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = NO_REASON;
+            if !self.heap.contains(v) {
+                self.heap.insert(v, &self.activity);
+            }
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = bound;
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        if self.config.vsids {
+            while let Some(v) = self.heap.pop_max(&self.activity) {
+                if self.value_var(v) == LBool::Undef {
+                    return Some(v);
+                }
+            }
+            None
+        } else {
+            (0..self.num_vars())
+                .map(Var::new)
+                .find(|&v| self.value_var(v) == LBool::Undef)
+        }
+    }
+
+    fn reduce_db(&mut self) {
+        let mut learnt_idx: Vec<usize> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| {
+                c.learnt && !c.deleted && c.lits.len() > 2 && !self.is_locked(*i)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        // Worst first: high LBD, then low activity.
+        learnt_idx.sort_by(|&a, &b| {
+            let ca = &self.clauses[a];
+            let cb = &self.clauses[b];
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.partial_cmp(&cb.activity).expect("finite"))
+        });
+        let to_delete = learnt_idx.len() / 2;
+        for &i in learnt_idx.iter().take(to_delete) {
+            self.clauses[i].deleted = true;
+            self.stats.deleted += 1;
+        }
+        // Deleted clauses' watchers are dropped lazily during propagation.
+        self.learnt_limit *= 1.5;
+    }
+
+    fn is_locked(&self, ci: usize) -> bool {
+        let first = self.clauses[ci].lits[0];
+        self.value_lit(first) == LBool::True && self.reason[first.var().index()] == ci as u32
+    }
+
+    fn luby(mut x: u64) -> u64 {
+        // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+        let mut size = 1u64;
+        let mut seq = 0u32;
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        while size - 1 != x {
+            size = (size - 1) / 2;
+            seq -= 1;
+            x %= size;
+        }
+        1u64 << seq
+    }
+
+    fn budget_exhausted(&self) -> bool {
+        if let Some(max_c) = self.config.max_conflicts {
+            if self.stats.conflicts >= max_c {
+                return true;
+            }
+        }
+        if let Some(timeout) = self.config.timeout {
+            if let Some(start) = self.start {
+                // Cheap check: only probe the clock periodically.
+                if self.stats.conflicts % 256 == 0 && start.elapsed() >= timeout {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Solves the formula with no assumptions.
+    pub fn solve(&mut self) -> Outcome {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// On [`Outcome::Sat`] the model (including assumptions) is available
+    /// via [`Solver::model`]. Assumptions do not persist between calls.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> Outcome {
+        if !self.ok {
+            return Outcome::Unsat;
+        }
+        for l in assumptions {
+            self.reserve_vars(l.var().index() + 1);
+        }
+        self.start = Some(Instant::now());
+        self.backtrack_to(0);
+        // Scale the learnt-clause budget to the instance (MiniSat keeps
+        // roughly a third of the problem size; undersizing makes the solver
+        // throw away everything it learns and thrash).
+        let live_problem = self.clauses.iter().filter(|c| !c.deleted && !c.learnt).count();
+        self.learnt_limit = self.learnt_limit.max(live_problem as f64 / 3.0).max(2000.0);
+        // (Re)seed the decision heap.
+        for i in 0..self.num_vars() {
+            let v = Var::new(i);
+            if self.value_var(v) == LBool::Undef && !self.heap.contains(v) {
+                self.heap.insert(v, &self.activity);
+            }
+        }
+
+        let mut restart_count = 0u64;
+        let mut conflicts_until_restart = Self::luby(restart_count) * 100;
+        let mut conflicts_this_restart = 0u64;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Outcome::Unsat;
+                }
+                // Analyze and backjump normally; assumptions cancelled by a
+                // deep backjump are re-decided on the way back up, and an
+                // assumption found false at its decision point reports
+                // UNSAT-under-assumptions (MiniSat semantics).
+                let (learnt, bt, lbd) = self.analyze(confl);
+                self.learn_and_jump(learnt, bt, lbd);
+                self.var_inc /= self.config.vsids_decay;
+                self.cla_inc /= 0.999;
+                if self.budget_exhausted() {
+                    self.backtrack_to(0);
+                    return Outcome::Unknown;
+                }
+                if self.config.reduce_db {
+                    let learnt_live = self.stats.learned - self.stats.deleted;
+                    if learnt_live as f64 > self.learnt_limit {
+                        self.reduce_db();
+                    }
+                }
+            } else {
+                if self.config.restarts && conflicts_this_restart >= conflicts_until_restart {
+                    restart_count += 1;
+                    self.stats.restarts += 1;
+                    conflicts_this_restart = 0;
+                    conflicts_until_restart = Self::luby(restart_count) * 100;
+                    let keep = (assumptions.len() as u32).min(self.decision_level());
+                    self.backtrack_to(keep);
+                }
+                // Assumption decisions first.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.value_lit(a) {
+                        LBool::True => {
+                            // Already implied: open an empty level for it.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            self.backtrack_to(0);
+                            return Outcome::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, NO_REASON);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        // Full assignment: record model.
+                        self.model = self
+                            .assigns
+                            .iter()
+                            .map(|a| a.to_bool().unwrap_or(false))
+                            .collect();
+                        self.backtrack_to(0);
+                        return Outcome::Sat;
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        let phase = if self.config.phase_saving {
+                            self.saved_phase[v.index()]
+                        } else {
+                            false
+                        };
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(v.lit(!phase), NO_REASON);
+                    }
+                }
+            }
+        }
+    }
+
+    fn learn_and_jump(&mut self, learnt: Vec<Lit>, bt: u32, lbd: u32) {
+        self.backtrack_to(bt);
+        let asserting = learnt[0];
+        if learnt.len() == 1 {
+            self.enqueue(asserting, NO_REASON);
+        } else {
+            let ci = self.attach_clause(learnt, true, lbd);
+            self.stats.learned += 1;
+            self.enqueue(asserting, ci);
+        }
+    }
+
+    /// The most recent satisfying model (`model()[v]` = value of variable
+    /// index `v`). Only meaningful after [`Outcome::Sat`].
+    pub fn model(&self) -> &[bool] {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn lit(v: usize, neg: bool) -> Lit {
+        Lit::new(v, neg)
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let mut s = Solver::new();
+        s.add_clause([lit(0, false)]);
+        assert_eq!(s.solve(), Outcome::Sat);
+        assert!(s.model()[0]);
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        let mut s = Solver::new();
+        s.add_clause([lit(0, false)]);
+        assert!(!s.add_clause([lit(0, true)]));
+        assert_eq!(s.solve(), Outcome::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), Outcome::Sat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        s.add_clause([]);
+        assert_eq!(s.solve(), Outcome::Unsat);
+    }
+
+    #[test]
+    fn xor_chain_sat_and_model_valid() {
+        // x0 ^ x1 = 1, x1 ^ x2 = 1, x2 ^ x0 = 0 — consistent.
+        let mut cnf = Cnf::new();
+        let v = cnf.new_vars(3);
+        let xor_true = |cnf: &mut Cnf, a: Var, b: Var| {
+            cnf.add_clause([a.positive(), b.positive()]);
+            cnf.add_clause([a.negative(), b.negative()]);
+        };
+        let xor_false = |cnf: &mut Cnf, a: Var, b: Var| {
+            cnf.add_clause([a.positive(), b.negative()]);
+            cnf.add_clause([a.negative(), b.positive()]);
+        };
+        xor_true(&mut cnf, v[0], v[1]);
+        xor_true(&mut cnf, v[1], v[2]);
+        xor_false(&mut cnf, v[2], v[0]);
+        let mut s = Solver::from_cnf(&cnf);
+        assert_eq!(s.solve(), Outcome::Sat);
+        assert!(cnf.is_satisfied_by(s.model()));
+    }
+
+    fn pigeonhole(holes: usize) -> Cnf {
+        // holes+1 pigeons into `holes` holes: UNSAT.
+        let pigeons = holes + 1;
+        let mut cnf = Cnf::new();
+        let var = |p: usize, h: usize| Var::new(p * holes + h);
+        for _ in 0..pigeons * holes {
+            cnf.new_var();
+        }
+        for p in 0..pigeons {
+            cnf.add_clause((0..holes).map(|h| var(p, h).positive()));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    cnf.add_clause([var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        cnf
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for holes in 2..=5 {
+            let cnf = pigeonhole(holes);
+            let mut s = Solver::from_cnf(&cnf);
+            assert_eq!(s.solve(), Outcome::Unsat, "php({holes})");
+            assert!(s.stats().conflicts > 0);
+        }
+    }
+
+    #[test]
+    fn pigeonhole_unsat_weakened_config() {
+        let cnf = pigeonhole(4);
+        let mut s = Solver::from_cnf_with_config(&cnf, SolverConfig::weakened());
+        assert_eq!(s.solve(), Outcome::Unsat);
+    }
+
+    #[test]
+    fn exactly_one_hole_per_pigeon_sat() {
+        // holes pigeons into holes holes: SAT (a perfect matching exists).
+        let holes = 4;
+        let mut cnf2 = Cnf::new();
+        let var = |p: usize, h: usize| Var::new(p * holes + h);
+        for _ in 0..holes * holes {
+            cnf2.new_var();
+        }
+        for p in 0..holes {
+            cnf2.add_clause((0..holes).map(|h| var(p, h).positive()));
+        }
+        for h in 0..holes {
+            for p1 in 0..holes {
+                for p2 in p1 + 1..holes {
+                    cnf2.add_clause([var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        let mut s = Solver::from_cnf(&cnf2);
+        assert_eq!(s.solve(), Outcome::Sat);
+        assert!(cnf2.is_satisfied_by(s.model()));
+    }
+
+    fn brute_force_sat(cnf: &Cnf) -> bool {
+        let n = cnf.num_vars();
+        assert!(n <= 20);
+        (0u64..(1 << n)).any(|m| {
+            let model: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            cnf.is_satisfied_by(&model)
+        })
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for trial in 0..60 {
+            let n = rng.gen_range(3..10usize);
+            let m = rng.gen_range(2..(n * 5));
+            let mut cnf = Cnf::new();
+            cnf.new_vars(n);
+            for _ in 0..m {
+                let mut lits = Vec::new();
+                for _ in 0..3 {
+                    lits.push(Lit::new(rng.gen_range(0..n), rng.gen()));
+                }
+                cnf.add_clause(lits);
+            }
+            let expect = brute_force_sat(&cnf);
+            let mut s = Solver::from_cnf(&cnf);
+            let got = s.solve();
+            match (expect, got) {
+                (true, Outcome::Sat) => assert!(cnf.is_satisfied_by(s.model())),
+                (false, Outcome::Unsat) => {}
+                other => panic!("trial {trial}: mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn assumptions_work() {
+        let mut s = Solver::new();
+        // (a | b) & (!a | c)
+        s.add_clause([lit(0, false), lit(1, false)]);
+        s.add_clause([lit(0, true), lit(2, false)]);
+        assert_eq!(s.solve_with_assumptions(&[lit(0, false)]), Outcome::Sat);
+        assert!(s.model()[0] && s.model()[2]);
+        // Conflicting assumptions.
+        s.add_clause([lit(2, true)]); // force c = 0
+        assert_eq!(s.solve_with_assumptions(&[lit(0, false)]), Outcome::Unsat);
+        // Still SAT without that assumption.
+        assert_eq!(s.solve_with_assumptions(&[lit(0, true)]), Outcome::Sat);
+        assert!(s.model()[1]);
+    }
+
+    #[test]
+    fn assumptions_do_not_persist() {
+        let mut s = Solver::new();
+        s.add_clause([lit(0, false), lit(1, false)]);
+        assert_eq!(s.solve_with_assumptions(&[lit(0, true)]), Outcome::Sat);
+        assert_eq!(s.solve_with_assumptions(&[lit(0, false)]), Outcome::Sat);
+        assert_eq!(s.solve(), Outcome::Sat);
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown() {
+        let cnf = pigeonhole(7); // hard enough to exceed 10 conflicts
+        let mut s = Solver::from_cnf_with_config(
+            &cnf,
+            SolverConfig {
+                max_conflicts: Some(10),
+                ..SolverConfig::default()
+            },
+        );
+        assert_eq!(s.solve(), Outcome::Unknown);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(Solver::luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let cnf = pigeonhole(5);
+        let mut s = Solver::from_cnf(&cnf);
+        s.solve();
+        let st = s.stats();
+        assert!(st.conflicts > 0);
+        assert!(st.decisions > 0);
+        assert!(st.propagations > 0);
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = Solver::new();
+        s.add_clause([lit(0, false), lit(0, false), lit(1, false)]);
+        s.add_clause([lit(1, false), lit(1, true)]); // tautology dropped
+        assert_eq!(s.solve(), Outcome::Sat);
+    }
+
+    #[test]
+    fn many_solves_reusable() {
+        let mut s = Solver::new();
+        s.add_clause([lit(0, false), lit(1, false)]);
+        for _ in 0..5 {
+            assert_eq!(s.solve(), Outcome::Sat);
+        }
+        // Incremental clause addition after solving.
+        s.add_clause([lit(0, true)]);
+        s.add_clause([lit(1, true)]);
+        assert_eq!(s.solve(), Outcome::Unsat);
+    }
+}

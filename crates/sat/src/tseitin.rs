@@ -1,0 +1,397 @@
+//! Tseitin encoding of gate-level netlists into CNF.
+//!
+//! This is the bridge the SAT attack uses: every net gets a CNF variable and
+//! every gate a small clause group asserting output ↔ function(inputs).
+//! [`encode_netlist_into`] supports *pinning* chosen nets to existing
+//! variables, which is how the attack builds two-copy miters that share data
+//! inputs while keeping distinct key variables.
+
+use crate::cnf::Cnf;
+use crate::lit::{Lit, Var};
+use ril_netlist::{GateKind, NetId, Netlist};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from circuit encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TseitinError {
+    /// The netlist contains a DFF; convert with
+    /// [`Netlist::to_combinational`] first.
+    Sequential,
+    /// A non-input net has no driver.
+    Undriven(String),
+}
+
+impl fmt::Display for TseitinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TseitinError::Sequential => {
+                write!(f, "netlist is sequential; convert to combinational first")
+            }
+            TseitinError::Undriven(n) => write!(f, "net `{n}` is undriven"),
+        }
+    }
+}
+
+impl Error for TseitinError {}
+
+/// Result of encoding a netlist: the per-net variable map.
+#[derive(Debug, Clone)]
+pub struct CircuitVars {
+    vars: Vec<Var>,
+}
+
+impl CircuitVars {
+    /// The CNF variable carrying the value of `net`.
+    pub fn var(&self, net: NetId) -> Var {
+        self.vars[net.index()]
+    }
+
+    /// The positive literal of `net`'s variable.
+    pub fn lit(&self, net: NetId) -> Lit {
+        self.var(net).positive()
+    }
+}
+
+/// Encodes `nl` into `cnf`. Nets listed in `pinned` reuse the given
+/// variables; all other nets get fresh ones. Returns the complete net→var
+/// map.
+///
+/// # Errors
+///
+/// Returns [`TseitinError::Sequential`] if the netlist contains DFFs and
+/// [`TseitinError::Undriven`] if a used net has no driver and is not a
+/// primary input.
+pub fn encode_netlist_into(
+    nl: &Netlist,
+    cnf: &mut Cnf,
+    pinned: &HashMap<NetId, Var>,
+) -> Result<CircuitVars, TseitinError> {
+    let mut vars = Vec::with_capacity(nl.net_count());
+    for (id, _) in nl.nets() {
+        match pinned.get(&id) {
+            Some(&v) => vars.push(v),
+            None => vars.push(cnf.new_var()),
+        }
+    }
+    for (_, gate) in nl.gates() {
+        let out = vars[gate.output().index()].positive();
+        let ins: Vec<Lit> = gate
+            .inputs()
+            .iter()
+            .map(|n| vars[n.index()].positive())
+            .collect();
+        encode_gate(cnf, gate.kind(), out, &ins)?;
+    }
+    // Sanity: every net consumed by a gate or output must be driven or PI.
+    for (_, gate) in nl.gates() {
+        for &inp in gate.inputs() {
+            if nl.net(inp).driver().is_none() && !nl.is_input(inp) {
+                return Err(TseitinError::Undriven(nl.net(inp).name().to_string()));
+            }
+        }
+    }
+    Ok(CircuitVars { vars })
+}
+
+/// Encodes only the gates accepted by `include`, allocating variables
+/// lazily: a net gets a variable only if it is pinned or touched by an
+/// included gate. Returns the sparse net→var map.
+///
+/// This is the workhorse of structure-sharing attack encodings: a second
+/// circuit copy pins every key-independent net to the first copy's
+/// variables and encodes only the key-dependent cones.
+///
+/// # Errors
+///
+/// Returns [`TseitinError::Sequential`] if an included gate is a DFF.
+pub fn encode_selected(
+    nl: &Netlist,
+    cnf: &mut Cnf,
+    pinned: &HashMap<NetId, Var>,
+    mut include: impl FnMut(ril_netlist::GateId) -> bool,
+) -> Result<HashMap<NetId, Var>, TseitinError> {
+    let mut map: HashMap<NetId, Var> = pinned.clone();
+    let var_of = |cnf: &mut Cnf, map: &mut HashMap<NetId, Var>, net: NetId| {
+        *map.entry(net).or_insert_with(|| cnf.new_var())
+    };
+    for (gid, gate) in nl.gates() {
+        if !include(gid) {
+            continue;
+        }
+        let out = var_of(cnf, &mut map, gate.output()).positive();
+        let ins: Vec<Lit> = gate
+            .inputs()
+            .iter()
+            .map(|&n| var_of(cnf, &mut map, n).positive())
+            .collect();
+        encode_gate(cnf, gate.kind(), out, &ins)?;
+    }
+    Ok(map)
+}
+
+/// Encodes a whole netlist into a fresh CNF. Returns the formula and the
+/// net→var map.
+///
+/// # Errors
+///
+/// See [`encode_netlist_into`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = ril_netlist::bench::c17();
+/// let (cnf, vars) = ril_sat::encode_netlist(&nl)?;
+/// assert!(cnf.num_clauses() > 0);
+/// let g22 = nl.net_id("G22").expect("net exists");
+/// let _out_var = vars.var(g22);
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode_netlist(nl: &Netlist) -> Result<(Cnf, CircuitVars), TseitinError> {
+    let mut cnf = Cnf::new();
+    let vars = encode_netlist_into(nl, &mut cnf, &HashMap::new())?;
+    Ok((cnf, vars))
+}
+
+/// Emits the clause group for one gate: `out ↔ kind(ins)`.
+fn encode_gate(cnf: &mut Cnf, kind: GateKind, out: Lit, ins: &[Lit]) -> Result<(), TseitinError> {
+    match kind {
+        GateKind::Buf => {
+            cnf.add_clause([!out, ins[0]]);
+            cnf.add_clause([out, !ins[0]]);
+        }
+        GateKind::Not => {
+            cnf.add_clause([!out, !ins[0]]);
+            cnf.add_clause([out, ins[0]]);
+        }
+        GateKind::And | GateKind::Nand => {
+            let o = if kind == GateKind::And { out } else { !out };
+            for &i in ins {
+                cnf.add_clause([!o, i]);
+            }
+            let mut big: Vec<Lit> = ins.iter().map(|&i| !i).collect();
+            big.push(o);
+            cnf.add_clause(big);
+        }
+        GateKind::Or | GateKind::Nor => {
+            let o = if kind == GateKind::Or { out } else { !out };
+            for &i in ins {
+                cnf.add_clause([o, !i]);
+            }
+            let mut big: Vec<Lit> = ins.to_vec();
+            big.push(!o);
+            cnf.add_clause(big);
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            // Chain pairwise with auxiliary variables.
+            let mut acc = ins[0];
+            for &i in &ins[1..] {
+                let t = cnf.new_var().positive();
+                encode_xor2(cnf, t, acc, i);
+                acc = t;
+            }
+            let o = if kind == GateKind::Xor { out } else { !out };
+            cnf.add_clause([!o, acc]);
+            cnf.add_clause([o, !acc]);
+        }
+        GateKind::Mux => {
+            let (s, a, b) = (ins[0], ins[1], ins[2]);
+            cnf.add_clause([s, !a, out]);
+            cnf.add_clause([s, a, !out]);
+            cnf.add_clause([!s, !b, out]);
+            cnf.add_clause([!s, b, !out]);
+            // Redundant but propagation-strengthening clauses.
+            cnf.add_clause([!a, !b, out]);
+            cnf.add_clause([a, b, !out]);
+        }
+        GateKind::Const0 => {
+            cnf.add_clause([!out]);
+        }
+        GateKind::Const1 => {
+            cnf.add_clause([out]);
+        }
+        GateKind::Lut2(tt) => {
+            let (a, b) = (ins[0], ins[1]);
+            for idx in 0..4u8 {
+                let av = idx & 1 == 1;
+                let bv = idx & 2 == 2;
+                let o = if (tt >> idx) & 1 == 1 { out } else { !out };
+                // (a = av ∧ b = bv) → o
+                let la = if av { !a } else { a };
+                let lb = if bv { !b } else { b };
+                cnf.add_clause([la, lb, o]);
+            }
+        }
+        GateKind::Dff => return Err(TseitinError::Sequential),
+    }
+    Ok(())
+}
+
+fn encode_xor2(cnf: &mut Cnf, o: Lit, a: Lit, b: Lit) {
+    cnf.add_clause([!o, a, b]);
+    cnf.add_clause([!o, !a, !b]);
+    cnf.add_clause([o, !a, b]);
+    cnf.add_clause([o, a, !b]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{Outcome, Solver};
+    use ril_netlist::{generators, Netlist, Simulator};
+
+    /// Checks CNF/model equivalence: for every input pattern, constrain
+    /// inputs in the CNF and verify the implied outputs match simulation.
+    fn check_equiv_exhaustive(nl: &Netlist) {
+        let (cnf, vars) = encode_netlist(nl).unwrap();
+        let mut sim = Simulator::new(nl).unwrap();
+        let n = nl.inputs().len();
+        assert!(n <= 12, "too many inputs for exhaustive check");
+        for pattern in 0u64..(1 << n) {
+            let bits: Vec<bool> = (0..n).map(|i| (pattern >> i) & 1 == 1).collect();
+            let expect = sim.eval_bits(nl, &bits);
+            let mut solver = Solver::from_cnf(&cnf);
+            let assumptions: Vec<Lit> = nl
+                .inputs()
+                .iter()
+                .zip(&bits)
+                .map(|(&net, &b)| vars.var(net).lit(!b))
+                .collect();
+            assert_eq!(solver.solve_with_assumptions(&assumptions), Outcome::Sat);
+            let model = solver.model();
+            for (&out_net, &e) in nl.outputs().iter().zip(&expect) {
+                assert_eq!(
+                    model[vars.var(out_net).index()],
+                    e,
+                    "pattern {pattern:b}, output {}",
+                    nl.net(out_net).name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn c17_cnf_matches_simulation() {
+        check_equiv_exhaustive(&ril_netlist::bench::c17());
+    }
+
+    #[test]
+    fn every_gate_kind_encodes_correctly() {
+        use ril_netlist::GateKind::*;
+        // One gate per netlist, exhaustively checked.
+        for (kind, arity) in [
+            (Buf, 1usize),
+            (Not, 1),
+            (And, 3),
+            (Or, 3),
+            (Nand, 2),
+            (Nor, 2),
+            (Xor, 3),
+            (Xnor, 2),
+            (Mux, 3),
+        ] {
+            let mut nl = Netlist::new("g");
+            let ins: Vec<_> = (0..arity)
+                .map(|i| nl.add_input(format!("i{i}")).unwrap())
+                .collect();
+            let y = nl.add_net("y").unwrap();
+            nl.add_gate(kind, &ins, y).unwrap();
+            nl.mark_output(y);
+            check_equiv_exhaustive(&nl);
+        }
+        for tt in 0u8..16 {
+            let mut nl = Netlist::new("lut");
+            let a = nl.add_input("a").unwrap();
+            let b = nl.add_input("b").unwrap();
+            let y = nl.add_net("y").unwrap();
+            nl.add_gate(Lut2(tt), &[a, b], y).unwrap();
+            nl.mark_output(y);
+            check_equiv_exhaustive(&nl);
+        }
+    }
+
+    #[test]
+    fn constants_encode_correctly() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a").unwrap();
+        let z = nl.add_net("z").unwrap();
+        let o = nl.add_net("o").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.add_gate(GateKind::Const0, &[], z).unwrap();
+        nl.add_gate(GateKind::Const1, &[], o).unwrap();
+        nl.add_gate(GateKind::Mux, &[a, z, o], y).unwrap();
+        nl.mark_output(y);
+        check_equiv_exhaustive(&nl); // y == a
+    }
+
+    #[test]
+    fn pinning_shares_variables() {
+        let nl = ril_netlist::bench::c17();
+        let mut cnf = Cnf::new();
+        let shared: HashMap<NetId, Var> = nl
+            .inputs()
+            .iter()
+            .map(|&n| (n, cnf.new_var()))
+            .collect();
+        let v1 = encode_netlist_into(&nl, &mut cnf, &shared).unwrap();
+        let v2 = encode_netlist_into(&nl, &mut cnf, &shared).unwrap();
+        for &inp in nl.inputs() {
+            assert_eq!(v1.var(inp), v2.var(inp));
+        }
+        // Internal nets are distinct.
+        let g10 = nl.net_id("G10").unwrap();
+        assert_ne!(v1.var(g10), v2.var(g10));
+        // Two copies of the same circuit with shared inputs: outputs must
+        // agree — the miter XOR must be UNSAT.
+        let out = nl.outputs()[0];
+        let miter = cnf.new_var().positive();
+        encode_xor2(&mut cnf, miter, v1.lit(out), v2.lit(out));
+        cnf.add_clause([miter]);
+        let mut solver = Solver::from_cnf(&cnf);
+        assert_eq!(solver.solve(), Outcome::Unsat);
+    }
+
+    #[test]
+    fn sequential_rejected() {
+        let mut nl = Netlist::new("seq");
+        let a = nl.add_input("a").unwrap();
+        let q = nl.add_net("q").unwrap();
+        nl.add_gate(GateKind::Dff, &[a], q).unwrap();
+        nl.mark_output(q);
+        assert_eq!(encode_netlist(&nl).unwrap_err(), TseitinError::Sequential);
+    }
+
+    #[test]
+    fn larger_circuit_spot_check() {
+        // 4-bit adder: constrain inputs via assumptions, check sums.
+        let nl = generators::adder(4);
+        let (cnf, vars) = encode_netlist(&nl).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for (a, b) in [(3u64, 9u64), (15, 15), (0, 0), (7, 8)] {
+            let bits: Vec<bool> = (0..8)
+                .map(|i| {
+                    if i < 4 {
+                        (a >> i) & 1 == 1
+                    } else {
+                        (b >> (i - 4)) & 1 == 1
+                    }
+                })
+                .collect();
+            let expect = sim.eval_bits(&nl, &bits);
+            let mut solver = Solver::from_cnf(&cnf);
+            let assumptions: Vec<Lit> = nl
+                .inputs()
+                .iter()
+                .zip(&bits)
+                .map(|(&net, &bit)| vars.var(net).lit(!bit))
+                .collect();
+            assert_eq!(solver.solve_with_assumptions(&assumptions), Outcome::Sat);
+            for (&o, &e) in nl.outputs().iter().zip(&expect) {
+                assert_eq!(solver.model()[vars.var(o).index()], e);
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Leakage-assessment metrics: SNR and Welch's t-test (TVLA).
+
+use crate::trace::{LutTechnology, PowerTrace};
+use ril_mram::lut::{MramLut2, SramLut2};
+
+/// Splits a trace's samples into (read-0, read-1) populations using the
+/// *true* stored table (assessment is a white-box activity).
+pub fn split_by_value(trace: &PowerTrace, tt: u8) -> (Vec<f64>, Vec<f64>) {
+    let mut zeros = Vec::new();
+    let mut ones = Vec::new();
+    for (&(a, b), &p) in trace.inputs.iter().zip(&trace.samples) {
+        let v = (tt >> ((a as u8) | ((b as u8) << 1))) & 1 == 1;
+        if v {
+            ones.push(p);
+        } else {
+            zeros.push(p);
+        }
+    }
+    (zeros, ones)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn var(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Welch's t statistic between the read-0 and read-1 populations. TVLA
+/// convention: |t| > 4.5 ⇒ exploitable first-order leakage.
+pub fn welch_t(zeros: &[f64], ones: &[f64]) -> f64 {
+    let (m0, m1) = (mean(zeros), mean(ones));
+    let (v0, v1) = (var(zeros), var(ones));
+    let denom = (v0 / zeros.len().max(1) as f64 + v1 / ones.len().max(1) as f64).sqrt();
+    if denom < 1e-30 {
+        return 0.0;
+    }
+    (m1 - m0) / denom
+}
+
+/// The TVLA leakage threshold.
+pub const TVLA_THRESHOLD: f64 = 4.5;
+
+/// Signal-to-noise ratio of the value leak: variance of the per-value mean
+/// energies over the measurement-noise variance.
+pub fn leakage_snr(technology: LutTechnology, noise_sigma_fj: f64) -> f64 {
+    let (e0, e1) = match technology {
+        LutTechnology::Mram => {
+            let mut lut = MramLut2::with_defaults();
+            lut.program(0b0110);
+            (
+                lut.read(false, false, false).energy_fj,
+                lut.read(true, false, false).energy_fj,
+            )
+        }
+        LutTechnology::Sram => {
+            let mut lut = SramLut2::new();
+            lut.program(0b0110);
+            (lut.read(false, false).1, lut.read(true, false).1)
+        }
+    };
+    let signal_mean = (e0 + e1) / 2.0;
+    let signal_var = ((e0 - signal_mean).powi(2) + (e1 - signal_mean).powi(2)) / 2.0;
+    signal_var / (noise_sigma_fj * noise_sigma_fj).max(1e-30)
+}
+
+/// One-stop leakage assessment of a technology at a noise level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakageReport {
+    /// Welch t statistic between read-0/read-1 energy populations.
+    pub t_statistic: f64,
+    /// Whether |t| exceeds the TVLA threshold.
+    pub leaks: bool,
+    /// Signal-to-noise ratio.
+    pub snr: f64,
+}
+
+/// Assesses a technology with `samples` traces at the given noise.
+pub fn assess(
+    technology: LutTechnology,
+    samples: usize,
+    noise_sigma_fj: f64,
+    seed: u64,
+) -> LeakageReport {
+    let tt = 0b0110;
+    let trace = crate::trace::collect_traces(technology, tt, samples, noise_sigma_fj, seed);
+    let (zeros, ones) = split_by_value(&trace, tt);
+    let t = welch_t(&zeros, &ones);
+    LeakageReport {
+        t_statistic: t,
+        leaks: t.abs() > TVLA_THRESHOLD,
+        snr: leakage_snr(technology, noise_sigma_fj),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_leaks_mram_does_not() {
+        let sram = assess(LutTechnology::Sram, 1000, 0.5, 3);
+        let mram = assess(LutTechnology::Mram, 1000, 0.5, 3);
+        assert!(sram.leaks, "SRAM t = {}", sram.t_statistic);
+        assert!(!mram.leaks, "MRAM t = {}", mram.t_statistic);
+        assert!(sram.snr > 100.0 * mram.snr);
+    }
+
+    #[test]
+    fn welch_t_basics() {
+        let zeros = vec![1.0, 1.1, 0.9, 1.0];
+        let ones = vec![2.0, 2.1, 1.9, 2.0];
+        assert!(welch_t(&zeros, &ones) > TVLA_THRESHOLD);
+        let same = vec![1.0, 1.1, 0.9, 1.0];
+        assert!(welch_t(&same, &same).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_respects_truth_table() {
+        let trace = crate::trace::collect_traces(LutTechnology::Sram, 0b1000, 200, 0.0, 5);
+        let (zeros, ones) = split_by_value(&trace, 0b1000);
+        assert_eq!(zeros.len() + ones.len(), 200);
+        // AND: roughly 1/4 of random inputs read 1.
+        assert!(ones.len() < zeros.len());
+    }
+
+    #[test]
+    fn snr_decreases_with_noise() {
+        let low = leakage_snr(LutTechnology::Sram, 0.1);
+        let high = leakage_snr(LutTechnology::Sram, 1.0);
+        assert!(low > high);
+    }
+}

@@ -1,0 +1,75 @@
+//! Attack lab: play the adversary. Runs the full oracle-guided attack
+//! suite against a small RIL-locked design — first without, then with the
+//! Scan-Enable defense — and against an SFLL-style baseline for contrast.
+//!
+//! ```sh
+//! RIL_TIMEOUT_SECS=20 cargo run --release --example attack_lab
+//! ```
+
+use ril_blocks::attacks::{
+    removal_attack, run_appsat, run_sat_attack, AppSatConfig, SatAttackConfig,
+};
+use ril_blocks::core::baselines::sfll_lock;
+use ril_blocks::core::{KeyBitKind, Obfuscator, RilBlockSpec};
+use ril_blocks::netlist::generators;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let host = generators::multiplier(6);
+    println!("host: {} ({} gates)\n", host.name(), host.gate_count());
+    let sat_cfg = SatAttackConfig::default();
+    let app_cfg = AppSatConfig::default();
+
+    // --- Round 1: a lightly locked design, no SE defense ------------------
+    let plain = Obfuscator::new(RilBlockSpec::size_2x2())
+        .blocks(3)
+        .seed(11)
+        .obfuscate(&host)?;
+    println!("[1] 3 × 2x2 RIL-Blocks, no scan defense ({} key bits)", plain.key_width());
+    let report = run_sat_attack(&plain, &sat_cfg)?;
+    println!("    SAT attack: {report}");
+    let report = run_appsat(&plain, &app_cfg)?;
+    println!("    AppSAT:     {report}");
+    let removal = removal_attack(&plain, 32, 1)?;
+    println!(
+        "    Removal:    {} gates stripped, salvage error {:.2} % (fails: functions live in the keys)",
+        removal.removed_gates,
+        removal.error_rate * 100.0
+    );
+
+    // --- Round 2: the same lock with the Scan-Enable cell armed -----------
+    let mut armed = None;
+    for seed in 11..60 {
+        let lc = Obfuscator::new(RilBlockSpec::size_2x2())
+            .blocks(3)
+            .scan_obfuscation(true)
+            .seed(seed)
+            .obfuscate(&host)?;
+        let has_se = lc
+            .keys
+            .kinds()
+            .iter()
+            .zip(lc.keys.bits())
+            .any(|(k, &v)| matches!(k, KeyBitKind::ScanEnable { .. }) && v);
+        if has_se {
+            armed = Some(lc);
+            break;
+        }
+    }
+    let armed = armed.expect("a seed with an armed SE key");
+    println!("\n[2] Same lock + Scan-Enable defense armed");
+    let report = run_sat_attack(&armed, &sat_cfg)?;
+    println!("    SAT attack: {report}");
+    let report = run_appsat(&armed, &app_cfg)?;
+    println!("    AppSAT:     {report}");
+    println!("    (every oracle access asserts SE → corrupted responses → no usable key)");
+
+    // --- Round 3: why point functions are not enough -----------------------
+    let sfll = sfll_lock(&generators::adder(8), 8, 3)?;
+    println!("\n[3] SFLL-style point-function baseline ({} key bits)", sfll.key_width());
+    let removal = removal_attack(&sfll, 32, 2)?;
+    println!(
+        "    Removal+bypass: salvage error {:.4} % — the restore unit peels right off",
+        removal.error_rate * 100.0
+    );
+    Ok(())
+}

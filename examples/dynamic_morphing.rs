@@ -1,0 +1,67 @@
+//! Dynamic morphing: because RIL-Blocks are MRAM, the key can be rewritten
+//! in the field without changing the chip's function. This example morphs a
+//! locked design repeatedly — every round yields a *different* correct key
+//! — and shows the circuit-level LUT reprogramming underneath (the paper's
+//! Fig. 5 AND → NOR scenario).
+//!
+//! ```sh
+//! cargo run --example dynamic_morphing
+//! ```
+
+use ril_blocks::core::{morph_all, Obfuscator, RilBlockSpec};
+use ril_blocks::mram::{MramLut2, TransientSim};
+use ril_blocks::netlist::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn key_hex(bits: &[bool]) -> String {
+    bits.chunks(4)
+        .map(|c| {
+            let mut v = 0u8;
+            for (i, &b) in c.iter().enumerate() {
+                v |= (b as u8) << i;
+            }
+            format!("{v:x}")
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Netlist level: morph the whole design ---------------------------
+    let host = generators::multiplier(6);
+    let mut locked = Obfuscator::new(RilBlockSpec::size_8x8x8())
+        .blocks(2)
+        .scan_obfuscation(true)
+        .seed(5)
+        .obfuscate(&host)?;
+    println!(
+        "locked `{}`: {} key bits\ninitial key: {}",
+        host.name(),
+        locked.key_width(),
+        key_hex(locked.keys.bits())
+    );
+    let mut rng = StdRng::seed_from_u64(99);
+    for round in 1..=5 {
+        let report = morph_all(&mut locked, &mut rng);
+        let ok = locked.verify(16)?;
+        println!(
+            "morph {round}: {:>2} bits changed ({} pair swaps, {} reroutes, {} SE rerolls) → key {} — equivalent: {ok}",
+            report.bits_changed,
+            report.pair_swaps,
+            report.output_rerouted,
+            report.se_rerolled,
+            key_hex(locked.keys.bits()),
+        );
+        assert!(ok, "morphing must preserve functionality");
+    }
+    println!("\nAn attacker's partial key knowledge goes stale every morph cycle.");
+
+    // --- Device level: one LUT morphing AND → NOR ------------------------
+    println!("\nCircuit-level view (paper Fig. 5): one MRAM LUT reprogrammed in place:");
+    let sim = TransientSim::default();
+    let mut lut = MramLut2::with_defaults();
+    let trace = sim.run(&mut lut, &TransientSim::figure5_schedule());
+    print!("{}", trace.to_ascii(80));
+    println!("(write AND → read 4 minterms → write NOR → read → set SE key → inverted scan reads)");
+    Ok(())
+}

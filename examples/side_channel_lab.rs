@@ -1,0 +1,48 @@
+//! Side-channel lab: mount CPA/DPA power attacks against LUT key storage.
+//! An SRAM LUT's data-dependent read energy gives up its truth table in a
+//! few hundred traces; the paper's complementary-cell MRAM LUT draws the
+//! same current for 0 and 1 and starves the attack.
+//!
+//! ```sh
+//! cargo run --example side_channel_lab
+//! ```
+
+use ril_blocks::sca::{
+    assess, collect_traces, cpa_attack, key_recovery_rate, LutTechnology, TVLA_THRESHOLD,
+};
+
+fn main() {
+    let secret = 0b1101u8; // the hidden LUT configuration (NOT A OR B)
+    let noise = 0.5; // fJ of rail-measurement noise (1σ)
+    println!("victim LUT secret: {secret:04b}, measurement noise {noise} fJ\n");
+
+    for tech in [LutTechnology::Sram, LutTechnology::Mram] {
+        println!("--- {tech:?} LUT ---");
+        let trace = collect_traces(tech, secret, 800, noise, 42);
+        let result = cpa_attack(&trace);
+        println!(
+            "CPA over {} traces: best hypothesis {:04b} (margin {:.3}) → {}",
+            trace.len(),
+            result.best_tt,
+            result.margin(),
+            if result.best_tt == secret {
+                "KEY RECOVERED"
+            } else {
+                "wrong guess"
+            }
+        );
+        let leak = assess(tech, 1000, noise, 7);
+        println!(
+            "TVLA t-test: |t| = {:.2} (threshold {TVLA_THRESHOLD}) → {}",
+            leak.t_statistic.abs(),
+            if leak.leaks { "LEAKS" } else { "no first-order leak" }
+        );
+        let rate = key_recovery_rate(tech, 28, 500, noise, 3);
+        println!("recovery rate over 28 victims: {:.0} %\n", rate * 100.0);
+    }
+    println!(
+        "The MRAM LUT's read path always stacks one parallel and one anti-parallel\n\
+         MTJ (R_P + R_AP), so the rail current is value-independent up to a ~0.2 %\n\
+         transistor mismatch — below the noise floor of a realistic measurement."
+    );
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper and collects the outputs under
+# exp_out/. EXPERIMENTS.md embeds a captured run of this script.
+#
+# Budget knobs:
+#   RIL_TIMEOUT_SECS   per-cell attack budget (default 60)
+#   RIL_TABLE1_FULL=1  full 10-row Table I sweep
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p exp_out
+
+run() {
+  local name="$1"
+  shift
+  echo ">>> $name"
+  cargo run --release -q -p ril-bench --bin "$name" "$@" >"exp_out/$name.txt" 2>"exp_out/$name.err"
+}
+
+export RIL_TIMEOUT_SECS="${RIL_TIMEOUT_SECS:-60}"
+RIL_TABLE1_FULL="${RIL_TABLE1_FULL:-1}" run table1
+run table3
+run table4
+run table5
+run fig1
+run fig5
+run fig6
+run overhead
+run scan_defense
+run corruptibility
+run lut_scaling
+echo "all outputs in exp_out/"

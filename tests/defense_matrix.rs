@@ -1,0 +1,105 @@
+//! The Table V story as an integration test: which attacks break which
+//! schemes. Small instances, generous assertions on the *direction* of the
+//! results (exact runtimes are the bench harness's job).
+
+use ril_blocks::attacks::{
+    output_inversion_lock, removal_attack, run_sat_attack, scansat_attack, SatAttackConfig,
+};
+use ril_blocks::core::baselines::{antisat_lock, sfll_lock, xor_lock};
+use ril_blocks::core::metrics::output_corruptibility;
+use ril_blocks::core::{Obfuscator, RilBlockSpec};
+use ril_blocks::netlist::generators;
+use ril_blocks::sca::{key_recovery_rate, LutTechnology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn cfg() -> SatAttackConfig {
+    SatAttackConfig {
+        timeout: Some(Duration::from_secs(45)),
+        ..SatAttackConfig::default()
+    }
+}
+
+#[test]
+fn sat_attack_breaks_all_small_baselines() {
+    let host = generators::adder(8);
+    for (name, locked) in [
+        ("xor", xor_lock(&host, 10, 1).expect("lock")),
+        ("antisat", antisat_lock(&host, 4, 2).expect("lock")),
+        ("sfll", sfll_lock(&host, 5, 3).expect("lock")),
+    ] {
+        let report = run_sat_attack(&locked, &cfg()).expect("sim ok");
+        assert!(report.result.succeeded(), "{name}: {report}");
+        assert_eq!(report.functionally_correct, Some(true), "{name}");
+    }
+}
+
+#[test]
+fn more_ril_blocks_take_more_iterations() {
+    // The monotonic trend behind Table I, measured in DIP iterations
+    // (stabler than wall-clock in CI).
+    let host = generators::adder(10);
+    let mut iters = Vec::new();
+    for blocks in [1usize, 4] {
+        let locked = Obfuscator::new(RilBlockSpec::size_2x2())
+            .blocks(blocks)
+            .seed(42)
+            .obfuscate(&host)
+            .expect("lock");
+        let report = run_sat_attack(&locked, &cfg()).expect("sim ok");
+        assert!(report.result.succeeded(), "{blocks} blocks: {report}");
+        iters.push(report.iterations);
+    }
+    assert!(
+        iters[1] >= iters[0],
+        "4 blocks ({}) should need at least as many DIPs as 1 ({})",
+        iters[1],
+        iters[0]
+    );
+}
+
+#[test]
+fn removal_splits_point_functions_from_ril() {
+    let host = generators::adder(8);
+    let sfll = sfll_lock(&host, 8, 4).expect("lock");
+    let ril = Obfuscator::new(RilBlockSpec::size_8x8())
+        .seed(5)
+        .obfuscate(&host)
+        .expect("lock");
+    let r_sfll = removal_attack(&sfll, 32, 1).expect("sim ok");
+    let r_ril = removal_attack(&ril, 32, 1).expect("sim ok");
+    assert!(r_sfll.error_rate < 0.01, "sfll {}", r_sfll.error_rate);
+    assert!(r_ril.error_rate > 0.01, "ril {}", r_ril.error_rate);
+}
+
+#[test]
+fn scansat_separates_boundary_from_internal_inversion() {
+    let host = generators::adder(6);
+    let boundary = output_inversion_lock(&host, 7).expect("lock");
+    let report = scansat_attack(&boundary, &cfg()).expect("sim ok");
+    assert!(report.result.succeeded());
+    assert_eq!(report.functionally_correct, Some(true), "{report}");
+}
+
+#[test]
+fn ril_corruption_dwarfs_point_functions() {
+    let host = generators::multiplier(5);
+    let ril = Obfuscator::new(RilBlockSpec::size_8x8())
+        .seed(6)
+        .obfuscate(&host)
+        .expect("lock");
+    let anti = antisat_lock(&host, 8, 7).expect("lock");
+    let mut rng = StdRng::seed_from_u64(8);
+    let c_ril = output_corruptibility(&ril, 8, 4, &mut rng).expect("sim ok");
+    let c_anti = output_corruptibility(&anti, 8, 4, &mut rng).expect("sim ok");
+    assert!(c_ril > 5.0 * c_anti, "ril {c_ril} vs antisat {c_anti}");
+}
+
+#[test]
+fn psca_separates_mram_from_sram() {
+    let mram = key_recovery_rate(LutTechnology::Mram, 14, 400, 0.5, 3);
+    let sram = key_recovery_rate(LutTechnology::Sram, 14, 400, 0.5, 3);
+    assert!(sram > 0.7, "sram {sram}");
+    assert!(mram < 0.4, "mram {mram}");
+}

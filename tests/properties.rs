@@ -1,0 +1,131 @@
+//! Property-based cross-crate tests (proptest).
+
+use proptest::prelude::*;
+use ril_blocks::core::banyan::BanyanNetwork;
+use ril_blocks::core::lut::{complement_lut, swap_lut_inputs};
+use ril_blocks::core::{Obfuscator, RilBlockSpec};
+use ril_blocks::netlist::{generators, parse_bench, write_bench, Simulator};
+use ril_blocks::sat::{encode_netlist, Cnf, Lit, Outcome, Solver};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The CNF encoding of a random circuit agrees with bit-parallel
+    /// simulation on random patterns.
+    #[test]
+    fn cnf_encoding_matches_simulation(seed in 0u64..5000, pattern in 0u64..u64::MAX) {
+        let nl = generators::random_circuit(seed, 6, 30, 4);
+        let (cnf, vars) = encode_netlist(&nl).expect("combinational");
+        let mut sim = Simulator::new(&nl).expect("sim");
+        let bits: Vec<bool> = (0..6).map(|i| (pattern >> i) & 1 == 1).collect();
+        let expect = sim.eval_bits(&nl, &bits);
+        let mut solver = Solver::from_cnf(&cnf);
+        let assumptions: Vec<Lit> = nl.inputs().iter().zip(&bits)
+            .map(|(&n, &b)| vars.var(n).lit(!b)).collect();
+        prop_assert_eq!(solver.solve_with_assumptions(&assumptions), Outcome::Sat);
+        for (&o, &e) in nl.outputs().iter().zip(&expect) {
+            prop_assert_eq!(solver.model()[vars.var(o).index()], e);
+        }
+    }
+
+    /// `.bench` serialization round-trips functionally.
+    #[test]
+    fn bench_round_trip_preserves_function(seed in 0u64..5000, pattern in 0u64..u64::MAX) {
+        let nl = generators::random_circuit(seed, 5, 25, 3);
+        let back = parse_bench("rt", &write_bench(&nl)).expect("parse");
+        let mut sim1 = Simulator::new(&nl).expect("sim");
+        let mut sim2 = Simulator::new(&back).expect("sim");
+        let bits: Vec<bool> = (0..5).map(|i| (pattern >> i) & 1 == 1).collect();
+        // Output order may differ only if names differ — compare by name.
+        let o1 = sim1.eval_bits(&nl, &bits);
+        let o2 = sim2.eval_bits(&back, &bits);
+        prop_assert_eq!(o1, o2);
+    }
+
+    /// Banyan routing always yields permutations, and found keys reproduce
+    /// the requested permutation.
+    #[test]
+    fn banyan_route_find_roundtrip(width_pow in 1u32..4, keyseed in 0u64..10_000) {
+        let n = 1usize << width_pow;
+        let net = BanyanNetwork::new(n);
+        let mut rng = StdRng::seed_from_u64(keyseed);
+        let keys: Vec<bool> = (0..net.num_keys()).map(|_| rng.gen()).collect();
+        let perm = net.route(&keys);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        let found = net.find_keys(&perm, &mut rng, 0).expect("own permutation routable");
+        prop_assert_eq!(net.route(&found), perm);
+    }
+
+    /// LUT truth-table transforms are involutions and commute as expected.
+    #[test]
+    fn lut_transforms(tt in 0u8..16) {
+        prop_assert_eq!(swap_lut_inputs(swap_lut_inputs(tt)), tt);
+        prop_assert_eq!(complement_lut(complement_lut(tt)), tt);
+        prop_assert_eq!(
+            complement_lut(swap_lut_inputs(tt)),
+            swap_lut_inputs(complement_lut(tt))
+        );
+    }
+
+    /// Obfuscation preserves functionality for random hosts, shapes, seeds.
+    #[test]
+    fn obfuscation_preserves_function(seed in 0u64..2000, shape in 0usize..3, scan in any::<bool>()) {
+        let host = generators::random_circuit(seed, 8, 60, 6);
+        let spec = [
+            RilBlockSpec::size_2x2(),
+            RilBlockSpec::parse("4x4").expect("valid"),
+            RilBlockSpec::parse("4x4x4").expect("valid"),
+        ][shape];
+        // Random hosts may occasionally lack enough independent gates —
+        // that is a legitimate (checked) error, not a failure.
+        if let Ok(locked) = Obfuscator::new(spec)
+            .scan_obfuscation(scan)
+            .seed(seed)
+            .obfuscate(&host)
+        {
+            prop_assert!(locked.netlist.validate().is_ok());
+            prop_assert!(locked.verify(8).expect("sim ok"));
+        }
+    }
+
+    /// Solver models always satisfy the formula (soundness of SAT answers).
+    #[test]
+    fn solver_models_satisfy(seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(3..12usize);
+        let m = rng.gen_range(3..40usize);
+        let mut cnf = Cnf::new();
+        cnf.new_vars(n);
+        for _ in 0..m {
+            let len = rng.gen_range(1..4usize);
+            let lits: Vec<Lit> = (0..len).map(|_| Lit::new(rng.gen_range(0..n), rng.gen())).collect();
+            cnf.add_clause(lits);
+        }
+        let mut solver = Solver::from_cnf(&cnf);
+        if solver.solve() == Outcome::Sat {
+            prop_assert!(cnf.is_satisfied_by(solver.model()));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Dynamic morphing preserves functionality on random hosts.
+    #[test]
+    fn morphing_preserves_function(seed in 0u64..500) {
+        let host = generators::multiplier(5);
+        if let Ok(mut locked) = Obfuscator::new(RilBlockSpec::parse("4x4x4").expect("valid"))
+            .seed(seed)
+            .obfuscate(&host)
+        {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+            ril_blocks::core::morph_all(&mut locked, &mut rng);
+            prop_assert!(locked.verify(8).expect("sim ok"));
+        }
+    }
+}
