@@ -9,16 +9,16 @@
 //! inconsistent with the oracle and it "fails and terminates erroneously"
 //! (paper Table III, ✗ column).
 
-use crate::miter::AttackInstance;
 use crate::oracle::{attacker_view, Oracle};
 use crate::report::{AttackReport, AttackResult};
 use crate::satattack::default_timeout;
+use crate::session::{AttackSession, DipStep};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ril_core::LockedCircuit;
 use ril_netlist::{Netlist, Simulator};
-use ril_sat::{Outcome, SolverConfig};
-use std::time::{Duration, Instant};
+use ril_sat::SolverConfig;
+use std::time::Duration;
 
 /// AppSAT configuration ("default setting" = the published d/q/threshold).
 #[derive(Debug, Clone)]
@@ -59,146 +59,91 @@ impl Default for AppSatConfig {
 ///
 /// Panics if the netlist has no key inputs or widths mismatch the oracle.
 pub fn appsat_attack(nl: &Netlist, oracle: &mut Oracle, cfg: &AppSatConfig) -> AttackReport {
-    let start = Instant::now();
-    let queries_before = oracle.queries();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut inst = AttackInstance::new(nl, cfg.solver.clone(), None);
-    assert_eq!(inst.oracle_positions.len(), oracle.input_width());
+    let mut sess = AttackSession::new(
+        nl,
+        oracle,
+        cfg.solver.clone(),
+        None,
+        cfg.timeout,
+        cfg.max_iterations,
+    );
     let mut predict_sim = Simulator::new(nl).expect("combinational attacker view");
-    let mut iterations = 0usize;
-
-    let report = |result: AttackResult, iterations: usize, oq: u64| AttackReport {
-        result,
-        wall: start.elapsed(),
-        iterations,
-        oracle_queries: oq,
-        functionally_correct: None,
-    };
-    let left = |start: Instant, t: Option<Duration>| {
-        t.map(|t| t.saturating_sub(start.elapsed()).max(Duration::from_millis(100)))
-    };
 
     loop {
-        if let Some(t) = cfg.timeout {
-            match t.checked_sub(start.elapsed()) {
-                None => {
-                    return report(
-                        AttackResult::Timeout,
-                        iterations,
-                        oracle.queries() - queries_before,
-                    )
-                }
-                Some(remaining) => inst.solver.set_timeout(Some(remaining)),
-            }
-        }
-        if cfg.max_iterations.is_some_and(|m| iterations >= m) {
-            return report(
-                AttackResult::Timeout,
-                iterations,
-                oracle.queries() - queries_before,
-            );
-        }
-        match inst.solver.solve() {
-            Outcome::Unknown => {
-                return report(
-                    AttackResult::Timeout,
-                    iterations,
-                    oracle.queries() - queries_before,
+        match sess.step(oracle) {
+            DipStep::Distinguished => {}
+            DipStep::Budget => return sess.report(oracle, AttackResult::Timeout),
+            DipStep::OracleInconsistent => {
+                return sess.report(
+                    oracle,
+                    AttackResult::Failed(
+                        "AppSAT terminated erroneously: oracle contradicts key-independent logic"
+                            .into(),
+                    ),
                 )
             }
-            Outcome::Unsat => {
+            DipStep::Converged => {
                 // Converged exactly — extract like the plain SAT attack.
-                return match inst.extract_key(left(start, cfg.timeout)) {
-                    Ok(Some(key)) => report(
-                        AttackResult::ExactKey(key),
-                        iterations,
-                        oracle.queries() - queries_before,
-                    ),
-                    Ok(None) => report(
+                return match sess.extract_key() {
+                    Ok(Some(key)) => sess.report(oracle, AttackResult::ExactKey(key)),
+                    Ok(None) => sess.report(
+                        oracle,
                         AttackResult::Failed(
                             "AppSAT terminated erroneously: no key matches the oracle".into(),
                         ),
-                        iterations,
-                        oracle.queries() - queries_before,
                     ),
-                    Err(()) => report(
-                        AttackResult::Timeout,
-                        iterations,
-                        oracle.queries() - queries_before,
-                    ),
+                    Err(()) => sess.report(oracle, AttackResult::Timeout),
                 };
-            }
-            Outcome::Sat => {
-                iterations += 1;
-                let dip_full = inst.dip_from_model();
-                let response = oracle.query(&inst.oracle_dip(&dip_full));
-                if inst.add_dip(nl, &dip_full, &response).is_err() {
-                    return report(
-                        AttackResult::Failed(
-                            "AppSAT terminated erroneously: oracle contradicts key-independent logic"
-                                .into(),
-                        ),
-                        iterations,
-                        oracle.queries() - queries_before,
-                    );
-                }
             }
         }
 
-        // Periodic error estimation with random-query reinforcement.
-        if iterations % cfg.rounds_per_estimate == 0 {
-            let candidate = match inst.extract_key(left(start, cfg.timeout)) {
+        // Periodic error estimation with random-query reinforcement,
+        // against the warm finder session (no rebuild per candidate).
+        if sess.iterations.is_multiple_of(cfg.rounds_per_estimate) {
+            let candidate = match sess.extract_key() {
                 Ok(Some(key)) => key,
                 Ok(None) => {
-                    return report(
+                    return sess.report(
+                        oracle,
                         AttackResult::Failed(
                             "AppSAT terminated erroneously: candidate-key formula is UNSAT".into(),
                         ),
-                        iterations,
-                        oracle.queries() - queries_before,
                     )
                 }
-                Err(()) => {
-                    return report(
-                        AttackResult::Timeout,
-                        iterations,
-                        oracle.queries() - queries_before,
-                    )
-                }
+                Err(()) => return sess.report(oracle, AttackResult::Timeout),
             };
             let mut wrong_bits = 0usize;
             let mut total_bits = 0usize;
             for _ in 0..cfg.queries_per_estimate {
                 let probe: Vec<bool> = (0..oracle.input_width()).map(|_| rng.gen()).collect();
                 let truth = oracle.query(&probe);
-                let mut full = vec![false; inst.input_vars.len()];
-                for (slot, &pos) in inst.oracle_positions.iter().enumerate() {
+                let mut full = vec![false; sess.inst.input_vars.len()];
+                for (slot, &pos) in sess.inst.oracle_positions.iter().enumerate() {
                     full[pos] = probe[slot];
                 }
                 let predict = predict_sim.eval_pattern(nl, &full, &candidate);
                 let diff = predict.iter().zip(&truth).filter(|(a, b)| a != b).count();
                 wrong_bits += diff;
                 total_bits += truth.len();
-                if diff > 0 && inst.add_dip(nl, &full, &truth).is_err() {
-                    return report(
+                if diff > 0 && sess.reinforce(&full, &truth).is_err() {
+                    return sess.report(
+                        oracle,
                         AttackResult::Failed(
                             "AppSAT terminated erroneously: oracle contradicts key-independent logic"
                                 .into(),
                         ),
-                        iterations,
-                        oracle.queries() - queries_before,
                     );
                 }
             }
             let est_error = wrong_bits as f64 / total_bits.max(1) as f64;
             if est_error <= cfg.error_threshold {
-                return report(
+                return sess.report(
+                    oracle,
                     AttackResult::ApproxKey {
                         key: candidate,
                         est_error,
                     },
-                    iterations,
-                    oracle.queries() - queries_before,
                 );
             }
         }

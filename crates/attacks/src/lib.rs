@@ -44,11 +44,12 @@ pub mod removal;
 pub mod report;
 pub mod satattack;
 pub mod scansat;
+mod session;
 
 pub use appsat::{appsat_attack, run_appsat, AppSatConfig};
 pub use oracle::{attacker_view, Oracle};
 pub use preprocess::{bva_stats, encoding_stats, EncodingStats};
 pub use removal::{removal_attack, RemovalReport};
-pub use report::{AttackReport, AttackResult};
+pub use report::{AttackReport, AttackResult, IterationStats};
 pub use satattack::{default_timeout, run_sat_attack, sat_attack, SatAttackConfig};
 pub use scansat::{output_inversion_lock, scansat_attack};

@@ -17,13 +17,25 @@ use ril_netlist::cone::fanout_cone;
 use ril_netlist::{GateId, NetId, Netlist, Simulator};
 use ril_sat::bva::one_hot_selection;
 use ril_sat::tseitin::encode_selected;
-use ril_sat::{encode_netlist_into, Cnf, Lit, Outcome, Solver, SolverConfig, Var};
+use ril_sat::{encode_netlist_into, Cnf, Lit, Outcome, Session, SolverConfig, Var};
 use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
 /// The incremental state of one oracle-guided attack.
+///
+/// Both formulas live in persistent [`Session`]s constructed exactly once:
+/// each DIP's constraint is encoded into a scratch [`Cnf`] (whose variable
+/// pool mirrors the session's) and appended to the live solver, so learned
+/// clauses, activity ordering and watch lists stay warm across the whole
+/// DIP loop instead of being rebuilt per iteration.
 pub(crate) struct AttackInstance {
-    pub(crate) solver: Solver,
+    /// The distinguishing-input miter (`C(x,k1) ≠ C(x,k2)` + recorded I/O).
+    pub(crate) miter: Session,
+    /// The key finder (recorded I/O constraints only), solved for candidate
+    /// and final keys.
+    pub(crate) finder: Session,
+    /// Scratch encoding buffers; clauses are moved into the sessions after
+    /// each DIP, variable pools stay in lock-step with the sessions'.
     finder_cnf: Cnf,
     miter_cnf: Cnf,
     /// Shared data-input vars (netlist data-input order, incl. tied SE).
@@ -39,7 +51,6 @@ pub(crate) struct AttackInstance {
     const_m: (Var, Var),
     const_f: (Var, Var),
     sim: Simulator,
-    solver_config: SolverConfig,
 }
 
 impl AttackInstance {
@@ -102,7 +113,12 @@ impl AttackInstance {
         // Optional one-layer one-hot routing re-encoding (both copies).
         if let Some(locked) = one_hot_meta {
             let lit1 = |n: NetId| vars1.lit(n);
-            let lit2 = |n: NetId| map2.get(&n).copied().unwrap_or_else(|| vars1.var(n)).positive();
+            let lit2 = |n: NetId| {
+                map2.get(&n)
+                    .copied()
+                    .unwrap_or_else(|| vars1.var(n))
+                    .positive()
+            };
             for meta in &locked.block_meta {
                 for copy in 0..2 {
                     for (ports, lines) in [
@@ -161,9 +177,15 @@ impl AttackInstance {
         finder_cnf.add_clause([ft.positive()]);
         finder_cnf.add_clause([ff.negative()]);
 
-        let solver = Solver::from_cnf_with_config(&miter_cnf, solver_config.clone());
+        // Both solvers are constructed here, once; from now on clauses are
+        // only ever *appended*. The CNFs degrade to scratch buffers.
+        let miter = Session::from_cnf_with_config(&miter_cnf, solver_config.clone());
+        let finder = Session::from_cnf_with_config(&finder_cnf, solver_config);
+        miter_cnf.clear_clauses();
+        finder_cnf.clear_clauses();
         AttackInstance {
-            solver,
+            miter,
+            finder,
             finder_cnf,
             miter_cnf,
             input_vars,
@@ -176,14 +198,13 @@ impl AttackInstance {
             const_m: (ct, cf),
             const_f: (ft, ff),
             sim: Simulator::new(nl).expect("combinational"),
-            solver_config,
         }
     }
 
     /// Extracts the full data-input assignment (DIP) from the last SAT
     /// model.
     pub(crate) fn dip_from_model(&self) -> Vec<bool> {
-        let model = self.solver.model();
+        let model = self.miter.model();
         self.input_vars.iter().map(|v| model[v.index()]).collect()
     }
 
@@ -223,19 +244,19 @@ impl AttackInstance {
             }
         }
 
-        // Miter copies.
-        let before = self.miter_cnf.num_clauses();
+        // Miter copies: encode into the scratch CNF, then move the clauses
+        // into the live session (clearing the scratch, keeping its pool).
         let (k1, k2) = (self.key1.clone(), self.key2.clone());
         for key_vars in [&k1, &k2] {
             self.encode_constraint_copy(nl, key_vars, response, true);
         }
-        for ci in before..self.miter_cnf.num_clauses() {
-            let clause = self.miter_cnf.clauses()[ci].clone();
-            self.solver.add_clause(clause);
-        }
-        // Finder.
+        self.miter.append_cnf(&self.miter_cnf);
+        self.miter_cnf.clear_clauses();
+        // Finder, same scheme.
         let keyf = self.keyf.clone();
         self.encode_constraint_copy(nl, &keyf, response, false);
+        self.finder.append_cnf(&self.finder_cnf);
+        self.finder_cnf.clear_clauses();
         Ok(())
     }
 
@@ -275,22 +296,24 @@ impl AttackInstance {
         }
     }
 
-    /// Solves the key-extraction formula; `Some(key)` on success, `None` on
-    /// UNSAT (no key consistent with the recorded responses), or `Err` on
-    /// budget exhaustion.
-    pub(crate) fn extract_key(&mut self, timeout: Option<Duration>) -> Result<Option<Vec<bool>>, ()> {
-        let mut finder = Solver::from_cnf_with_config(&self.finder_cnf, self.solver_config.clone());
-        finder.set_timeout(timeout);
-        match finder.solve() {
+    /// Solves the key-extraction formula on the *persistent* finder session
+    /// (no rebuild — everything it learned over earlier extractions stays);
+    /// `Some(key)` on success, `None` on UNSAT (no key consistent with the
+    /// recorded responses), or `Err` on budget exhaustion.
+    pub(crate) fn extract_key(
+        &mut self,
+        timeout: Option<Duration>,
+    ) -> Result<Option<Vec<bool>>, ()> {
+        self.finder.set_timeout(timeout);
+        match self.finder.solve() {
             Outcome::Sat => {
-                let model = finder.model();
+                let model = self.finder.model();
                 Ok(Some(self.keyf.iter().map(|v| model[v.index()]).collect()))
             }
             Outcome::Unsat => Ok(None),
             Outcome::Unknown => Err(()),
         }
     }
-
 }
 
 fn pin_map(nets: &[NetId], vars: &[Var]) -> HashMap<NetId, Var> {

@@ -71,7 +71,10 @@ impl Oracle {
     pub fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
         assert_eq!(inputs.len(), self.input_width(), "oracle input width");
         self.queries += 1;
-        let mut data: Vec<u64> = inputs.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        let mut data: Vec<u64> = inputs
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect();
         if self.has_se {
             data.push(if self.scan_corrupted { u64::MAX } else { 0 });
         }
@@ -86,7 +89,10 @@ impl Oracle {
     /// evaluation harness, *not* to attacks.
     pub fn functional_response(&mut self, inputs: &[bool]) -> Vec<bool> {
         assert_eq!(inputs.len(), self.input_width(), "oracle input width");
-        let mut data: Vec<u64> = inputs.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        let mut data: Vec<u64> = inputs
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect();
         if self.has_se {
             data.push(0);
         }
@@ -143,7 +149,9 @@ mod tests {
         let mut oracle = Oracle::new(&lc).unwrap();
         let mut sim = Simulator::new(&lc.original).unwrap();
         for pattern in [0u64, 5, 63, 4095] {
-            let bits: Vec<bool> = (0..oracle.input_width()).map(|i| (pattern >> i) & 1 == 1).collect();
+            let bits: Vec<bool> = (0..oracle.input_width())
+                .map(|i| (pattern >> i) & 1 == 1)
+                .collect();
             let resp = oracle.query(&bits);
             let expect = sim.eval_bits(&lc.original, &bits);
             assert_eq!(resp, expect);
@@ -212,7 +220,9 @@ mod tests {
         let kw = lc.keys.as_words();
         let n = lc.original.data_inputs().len();
         for pattern in [1u64, 77, 1023] {
-            let data: Vec<u64> = (0..n).map(|i| if (pattern >> i) & 1 == 1 { u64::MAX } else { 0 }).collect();
+            let data: Vec<u64> = (0..n)
+                .map(|i| if (pattern >> i) & 1 == 1 { u64::MAX } else { 0 })
+                .collect();
             let mut dv = data.clone();
             dv.push(u64::MAX); // SE pin high — must not matter in the view
             let o1 = sim_orig.eval_words(&lc.original, &data, &[]);

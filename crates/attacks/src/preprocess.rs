@@ -48,8 +48,8 @@ fn stats_of(cnf: &Cnf) -> EncodingStats {
 ///
 /// Fails on sequential netlists.
 pub fn encoding_stats(nl: &Netlist) -> Result<EncodingStats, NetlistError> {
-    let (cnf, _) = encode_netlist(nl)
-        .map_err(|_| NetlistError::InvalidId("sequential netlist".into()))?;
+    let (cnf, _) =
+        encode_netlist(nl).map_err(|_| NetlistError::InvalidId("sequential netlist".into()))?;
     Ok(stats_of(&cnf))
 }
 
@@ -63,8 +63,8 @@ pub fn bva_stats(
     min_occurrences: usize,
     max_rounds: usize,
 ) -> Result<(EncodingStats, EncodingStats, BvaReport), NetlistError> {
-    let (mut cnf, _) = encode_netlist(nl)
-        .map_err(|_| NetlistError::InvalidId("sequential netlist".into()))?;
+    let (mut cnf, _) =
+        encode_netlist(nl).map_err(|_| NetlistError::InvalidId("sequential netlist".into()))?;
     let before = stats_of(&cnf);
     let report = bounded_variable_addition(&mut cnf, min_occurrences, max_rounds);
     Ok((before, stats_of(&cnf), report))

@@ -1,5 +1,6 @@
 //! Attack outcome types shared by the whole suite.
 
+use ril_sat::SolverStats;
 use std::fmt;
 use std::time::Duration;
 
@@ -28,7 +29,10 @@ pub enum AttackResult {
 impl AttackResult {
     /// Whether the attack produced a key it believes in.
     pub fn succeeded(&self) -> bool {
-        matches!(self, AttackResult::ExactKey(_) | AttackResult::ApproxKey { .. })
+        matches!(
+            self,
+            AttackResult::ExactKey(_) | AttackResult::ApproxKey { .. }
+        )
     }
 
     /// The recovered key, if any.
@@ -54,6 +58,21 @@ impl fmt::Display for AttackResult {
     }
 }
 
+/// Solver accounting for one DIP iteration (= one solve call on the
+/// persistent miter session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IterationStats {
+    /// 1-based DIP iteration number.
+    pub iteration: usize,
+    /// Wall-clock time of this iteration's miter solve.
+    pub wall: Duration,
+    /// Search-statistics delta for this solve only.
+    pub stats: SolverStats,
+    /// Clauses appended to the miter since the previous iteration (the
+    /// previous DIP's I/O constraint).
+    pub clauses_added: usize,
+}
+
 /// Full attack report: result plus accounting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AttackReport {
@@ -69,6 +88,12 @@ pub struct AttackReport {
     /// equivalent against the *functional-mode* circuit — the ground-truth
     /// check the attacker cannot run but our harness can.
     pub functionally_correct: Option<bool>,
+    /// Cumulative solver statistics of the DIP-finding miter session.
+    pub miter_stats: SolverStats,
+    /// Cumulative solver statistics of the key-extraction finder session.
+    pub finder_stats: SolverStats,
+    /// Per-DIP-iteration solver accounting, oldest first.
+    pub iteration_stats: Vec<IterationStats>,
 }
 
 impl AttackReport {
@@ -79,6 +104,69 @@ impl AttackReport {
             _ => format!("{:.2}", self.wall.as_secs_f64()),
         }
     }
+
+    /// Serializes the report (including per-iteration solver statistics) as
+    /// a JSON object, for the benchmark drivers' machine-readable output.
+    pub fn to_json(&self) -> String {
+        let result = match &self.result {
+            AttackResult::ExactKey(k) => format!(r#"{{"kind":"exact_key","bits":{}}}"#, k.len()),
+            AttackResult::ApproxKey { key, est_error } => format!(
+                r#"{{"kind":"approx_key","bits":{},"est_error":{est_error}}}"#,
+                key.len()
+            ),
+            AttackResult::Timeout => r#"{"kind":"timeout"}"#.to_string(),
+            AttackResult::Failed(why) => {
+                format!(r#"{{"kind":"failed","why":"{}"}}"#, json_escape(why))
+            }
+        };
+        let iters: Vec<String> = self
+            .iteration_stats
+            .iter()
+            .map(|it| {
+                format!(
+                    r#"{{"iteration":{},"wall_s":{},"clauses_added":{},{}}}"#,
+                    it.iteration,
+                    it.wall.as_secs_f64(),
+                    it.clauses_added,
+                    stats_fields(&it.stats)
+                )
+            })
+            .collect();
+        format!(
+            r#"{{"result":{result},"wall_s":{},"iterations":{},"oracle_queries":{},"functionally_correct":{},"miter":{{{}}},"finder":{{{}}},"per_iteration":[{}]}}"#,
+            self.wall.as_secs_f64(),
+            self.iterations,
+            self.oracle_queries,
+            match self.functionally_correct {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            },
+            stats_fields(&self.miter_stats),
+            stats_fields(&self.finder_stats),
+            iters.join(",")
+        )
+    }
+}
+
+fn stats_fields(s: &SolverStats) -> String {
+    format!(
+        r#""decisions":{},"conflicts":{},"propagations":{},"restarts":{},"learned":{},"deleted":{}"#,
+        s.decisions, s.conflicts, s.propagations, s.restarts, s.learned, s.deleted
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => r#"\""#.chars().collect::<Vec<_>>(),
+            '\\' => r"\\".chars().collect(),
+            '\n' => r"\n".chars().collect(),
+            '\r' => r"\r".chars().collect(),
+            '\t' => r"\t".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 impl fmt::Display for AttackReport {
@@ -116,15 +204,22 @@ mod tests {
         assert_eq!(AttackResult::Timeout.key(), None);
     }
 
-    #[test]
-    fn table_cell_formats() {
-        let mut r = AttackReport {
-            result: AttackResult::Timeout,
+    fn report(result: AttackResult) -> AttackReport {
+        AttackReport {
+            result,
             wall: Duration::from_secs(3),
             iterations: 5,
             oracle_queries: 5,
             functionally_correct: None,
-        };
+            miter_stats: SolverStats::default(),
+            finder_stats: SolverStats::default(),
+            iteration_stats: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn table_cell_formats() {
+        let mut r = report(AttackResult::Timeout);
         assert_eq!(r.table_cell(), "∞");
         r.result = AttackResult::ExactKey(vec![]);
         r.wall = Duration::from_millis(1234);
@@ -133,15 +228,38 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let r = AttackReport {
-            result: AttackResult::Failed("model inconsistent".into()),
-            wall: Duration::from_secs(1),
-            iterations: 2,
-            oracle_queries: 3,
-            functionally_correct: Some(false),
-        };
+        let mut r = report(AttackResult::Failed("model inconsistent".into()));
+        r.wall = Duration::from_secs(1);
+        r.iterations = 2;
+        r.oracle_queries = 3;
+        r.functionally_correct = Some(false);
         let s = r.to_string();
         assert!(s.contains("model inconsistent"));
         assert!(s.contains("✗"));
+    }
+
+    #[test]
+    fn json_round_trips_basic_shape() {
+        let mut r = report(AttackResult::ExactKey(vec![true, false]));
+        r.miter_stats.conflicts = 7;
+        r.iteration_stats.push(IterationStats {
+            iteration: 1,
+            wall: Duration::from_millis(250),
+            stats: SolverStats {
+                conflicts: 7,
+                ..SolverStats::default()
+            },
+            clauses_added: 12,
+        });
+        let j = r.to_json();
+        assert!(j.contains(r#""kind":"exact_key""#), "{j}");
+        assert!(j.contains(r#""bits":2"#), "{j}");
+        assert!(j.contains(r#""conflicts":7"#), "{j}");
+        assert!(j.contains(r#""clauses_added":12"#), "{j}");
+        assert!(j.contains(r#""per_iteration":[{"#), "{j}");
+        // Failure messages are escaped.
+        let bad = report(AttackResult::Failed("he said \"no\"\n".into()));
+        let j = bad.to_json();
+        assert!(j.contains(r#"he said \"no\"\n"#), "{j}");
     }
 }

@@ -11,13 +11,13 @@
 //! the miter goes UNSAT, all surviving keys are I/O-equivalent and one is
 //! extracted.
 
-use crate::miter::AttackInstance;
 use crate::oracle::{attacker_view, Oracle};
 use crate::report::{AttackReport, AttackResult};
+use crate::session::{AttackSession, DipStep};
 use ril_core::LockedCircuit;
 use ril_netlist::Netlist;
-use ril_sat::{Outcome, SolverConfig};
-use std::time::{Duration, Instant};
+use ril_sat::SolverConfig;
+use std::time::Duration;
 
 /// SAT-attack configuration.
 #[derive(Debug, Clone)]
@@ -74,94 +74,43 @@ pub(crate) fn sat_attack_inner(
     cfg: &SatAttackConfig,
     one_hot_meta: Option<&LockedCircuit>,
 ) -> AttackReport {
-    let start = Instant::now();
-    let queries_before = oracle.queries();
-    let mut inst = AttackInstance::new(nl, cfg.solver.clone(), one_hot_meta);
-    assert_eq!(
-        inst.oracle_positions.len(),
-        oracle.input_width(),
-        "oracle/netlist input mismatch"
+    let mut sess = AttackSession::new(
+        nl,
+        oracle,
+        cfg.solver.clone(),
+        one_hot_meta,
+        cfg.timeout,
+        cfg.max_iterations,
     );
-    let mut iterations = 0usize;
-
-    let report = |result: AttackResult, iterations: usize, oq: u64| AttackReport {
-        result,
-        wall: start.elapsed(),
-        iterations,
-        oracle_queries: oq,
-        functionally_correct: None,
-    };
 
     loop {
-        if let Some(t) = cfg.timeout {
-            match t.checked_sub(start.elapsed()) {
-                None => {
-                    return report(
-                        AttackResult::Timeout,
-                        iterations,
-                        oracle.queries() - queries_before,
-                    )
-                }
-                Some(left) => inst.solver.set_timeout(Some(left)),
-            }
-        }
-        if cfg.max_iterations.is_some_and(|m| iterations >= m) {
-            return report(
-                AttackResult::Timeout,
-                iterations,
-                oracle.queries() - queries_before,
-            );
-        }
-        match inst.solver.solve() {
-            Outcome::Unknown => {
-                return report(
-                    AttackResult::Timeout,
-                    iterations,
-                    oracle.queries() - queries_before,
+        match sess.step(oracle) {
+            DipStep::Distinguished => {}
+            DipStep::Budget => return sess.report(oracle, AttackResult::Timeout),
+            DipStep::OracleInconsistent => {
+                return sess.report(
+                    oracle,
+                    AttackResult::Failed(
+                        "oracle response contradicts key-independent logic \
+                         (model/oracle mismatch)"
+                            .into(),
+                    ),
                 )
             }
-            Outcome::Unsat => break,
-            Outcome::Sat => {
-                iterations += 1;
-                let dip_full = inst.dip_from_model();
-                let response = oracle.query(&inst.oracle_dip(&dip_full));
-                if inst.add_dip(nl, &dip_full, &response).is_err() {
-                    return report(
-                        AttackResult::Failed(
-                            "oracle response contradicts key-independent logic \
-                             (model/oracle mismatch)"
-                                .into(),
-                        ),
-                        iterations,
-                        oracle.queries() - queries_before,
-                    );
-                }
-            }
+            // Miter UNSAT: every surviving key is I/O-equivalent.
+            DipStep::Converged => break,
         }
     }
 
-    // Miter UNSAT: every surviving key is I/O-equivalent. Extract one.
-    let budget = cfg
-        .timeout
-        .map(|t| t.saturating_sub(start.elapsed()).max(Duration::from_millis(100)));
-    match inst.extract_key(budget) {
-        Ok(Some(key)) => report(
-            AttackResult::ExactKey(key),
-            iterations,
-            oracle.queries() - queries_before,
-        ),
-        Ok(None) => report(
+    match sess.extract_key() {
+        Ok(Some(key)) => sess.report(oracle, AttackResult::ExactKey(key)),
+        Ok(None) => sess.report(
+            oracle,
             AttackResult::Failed(
                 "no key is consistent with the oracle's responses (model/oracle mismatch)".into(),
             ),
-            iterations,
-            oracle.queries() - queries_before,
         ),
-        Err(()) => report(
-            AttackResult::Timeout,
-            iterations,
-            oracle.queries() - queries_before,
-        ),
+        Err(()) => sess.report(oracle, AttackResult::Timeout),
     }
 }
 
@@ -222,6 +171,36 @@ mod tests {
         assert!(report.result.succeeded(), "{report}");
         assert_eq!(report.functionally_correct, Some(true), "{report}");
         assert!(report.iterations >= 1);
+    }
+
+    #[test]
+    fn report_carries_per_iteration_solver_stats() {
+        let host = generators::adder(8);
+        let locked = xor_lock(&host, 12, 3).unwrap();
+        let report = run_sat_attack(&locked, &fast_cfg()).unwrap();
+        assert!(report.result.succeeded(), "{report}");
+        // One miter solve per DIP plus the final UNSAT convergence proof.
+        assert_eq!(report.iteration_stats.len(), report.iterations + 1);
+        assert!(report
+            .iteration_stats
+            .iter()
+            .enumerate()
+            .all(|(i, it)| it.iteration == i + 1));
+        // Per-iteration deltas add back up to the cumulative miter stats.
+        let summed = report
+            .iteration_stats
+            .iter()
+            .fold(ril_sat::SolverStats::default(), |acc, it| {
+                acc.plus(&it.stats)
+            });
+        assert_eq!(summed, report.miter_stats);
+        // The finder session did real work and is reported separately.
+        assert!(report.finder_stats.propagations > 0);
+        let json = report.to_json();
+        assert!(
+            json.contains(r#""per_iteration":[{"iteration":1"#),
+            "{json}"
+        );
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! The shared oracle-guided attack driver.
+//!
+//! The exact SAT attack, AppSAT and (through the SAT attack) ScanSAT all
+//! run the same inner machine: solve the persistent miter for a
+//! distinguishing input, query the oracle, append the I/O constraint, and
+//! eventually extract a key from the persistent finder. [`AttackSession`]
+//! owns that machine — the incremental [`AttackInstance`], the wall-clock
+//! and iteration budgets, and the oracle-query baseline — so the attack
+//! entry points reduce to policy around [`AttackSession::step`]. It is also
+//! the single place where per-iteration solver statistics are lifted out of
+//! the miter session's [`ril_sat::SolveRecord`]s into the
+//! [`AttackReport`].
+
+use crate::miter::AttackInstance;
+use crate::oracle::Oracle;
+use crate::report::{AttackReport, AttackResult, IterationStats};
+use ril_core::LockedCircuit;
+use ril_netlist::Netlist;
+use ril_sat::{Outcome, SolverConfig};
+use std::time::{Duration, Instant};
+
+/// Outcome of one DIP iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DipStep {
+    /// A DIP was found, queried, and its constraint appended.
+    Distinguished,
+    /// Miter UNSAT: every surviving key is I/O-equivalent.
+    Converged,
+    /// The wall-clock or iteration budget ran out.
+    Budget,
+    /// The oracle's response contradicts key-independent logic — no key can
+    /// explain the oracle (the Scan-Enable defense manifests here).
+    OracleInconsistent,
+}
+
+/// One long-lived oracle-guided attack over a persistent
+/// [`AttackInstance`].
+pub(crate) struct AttackSession<'a> {
+    nl: &'a Netlist,
+    pub(crate) inst: AttackInstance,
+    start: Instant,
+    queries_before: u64,
+    timeout: Option<Duration>,
+    max_iterations: Option<usize>,
+    pub(crate) iterations: usize,
+}
+
+impl<'a> AttackSession<'a> {
+    /// Builds the miter/finder sessions (exactly once for the whole attack)
+    /// and starts the clocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has no key inputs, is sequential, or its
+    /// data-input count does not match the oracle.
+    pub(crate) fn new(
+        nl: &'a Netlist,
+        oracle: &Oracle,
+        solver_config: SolverConfig,
+        one_hot_meta: Option<&LockedCircuit>,
+        timeout: Option<Duration>,
+        max_iterations: Option<usize>,
+    ) -> AttackSession<'a> {
+        let inst = AttackInstance::new(nl, solver_config, one_hot_meta);
+        assert_eq!(
+            inst.oracle_positions.len(),
+            oracle.input_width(),
+            "oracle/netlist input mismatch"
+        );
+        AttackSession {
+            nl,
+            inst,
+            start: Instant::now(),
+            queries_before: oracle.queries(),
+            timeout,
+            max_iterations,
+            iterations: 0,
+        }
+    }
+
+    /// Time left in the attack's wall-clock budget (`None` = unbounded).
+    pub(crate) fn remaining(&self) -> Option<Duration> {
+        self.timeout.map(|t| t.saturating_sub(self.start.elapsed()))
+    }
+
+    /// Runs one DIP iteration: budget check, miter solve on the warm
+    /// session, oracle query, constraint append.
+    pub(crate) fn step(&mut self, oracle: &mut Oracle) -> DipStep {
+        match self.remaining() {
+            Some(left) if left.is_zero() => return DipStep::Budget,
+            left => self.inst.miter.set_timeout(left),
+        }
+        if self.max_iterations.is_some_and(|m| self.iterations >= m) {
+            return DipStep::Budget;
+        }
+        match self.inst.miter.solve() {
+            Outcome::Unknown => DipStep::Budget,
+            Outcome::Unsat => DipStep::Converged,
+            Outcome::Sat => {
+                self.iterations += 1;
+                let dip_full = self.inst.dip_from_model();
+                let response = oracle.query(&self.inst.oracle_dip(&dip_full));
+                match self.inst.add_dip(self.nl, &dip_full, &response) {
+                    Ok(()) => DipStep::Distinguished,
+                    Err(()) => DipStep::OracleInconsistent,
+                }
+            }
+        }
+    }
+
+    /// Appends an externally chosen I/O constraint (AppSAT's random-query
+    /// reinforcement). `Err(())` on oracle inconsistency.
+    pub(crate) fn reinforce(&mut self, dip_full: &[bool], response: &[bool]) -> Result<(), ()> {
+        self.inst.add_dip(self.nl, dip_full, response)
+    }
+
+    /// Solves the persistent finder for a key consistent with everything
+    /// recorded so far, under the remaining budget (floored at 100 ms so a
+    /// nearly-expired attack still gets a token extraction attempt).
+    pub(crate) fn extract_key(&mut self) -> Result<Option<Vec<bool>>, ()> {
+        let budget = self.remaining().map(|d| d.max(Duration::from_millis(100)));
+        self.inst.extract_key(budget)
+    }
+
+    /// Finalizes the attack into an [`AttackReport`], lifting the miter
+    /// session's per-solve records into per-iteration statistics.
+    pub(crate) fn report(&self, oracle: &Oracle, result: AttackResult) -> AttackReport {
+        let iteration_stats = self
+            .inst
+            .miter
+            .records()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| IterationStats {
+                iteration: i + 1,
+                wall: r.wall,
+                stats: r.stats,
+                clauses_added: r.clauses_added,
+            })
+            .collect();
+        AttackReport {
+            result,
+            wall: self.start.elapsed(),
+            iterations: self.iterations,
+            oracle_queries: oracle.queries() - self.queries_before,
+            functionally_correct: None,
+            miter_stats: self.inst.miter.stats(),
+            finder_stats: self.inst.finder.stats(),
+            iteration_stats,
+        }
+    }
+}

@@ -65,18 +65,14 @@ fn bench_solver_ablation(c: &mut Criterion) {
         ("rand3sat_n100_r5.0", &above_transition, exp_above),
     ] {
         for (name, config) in &configs {
-            group.bench_with_input(
-                BenchmarkId::new(*name, instance_name),
-                cnf,
-                |b, cnf| {
-                    b.iter(|| {
-                        let mut solver = Solver::from_cnf_with_config(cnf, config.clone());
-                        let outcome = solver.solve();
-                        assert_eq!(outcome, expect);
-                        black_box(solver.stats())
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, instance_name), cnf, |b, cnf| {
+                b.iter(|| {
+                    let mut solver = Solver::from_cnf_with_config(cnf, config.clone());
+                    let outcome = solver.solve();
+                    assert_eq!(outcome, expect);
+                    black_box(solver.stats())
+                });
+            });
         }
     }
     group.finish();

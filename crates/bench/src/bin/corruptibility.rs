@@ -3,13 +3,13 @@
 //! (Anti-SAT/SFLL-class) leave the circuit almost fully functional — the
 //! corruptibility/SAT-resistance trade-off the paper escapes.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use ril_bench::print_table;
 use ril_core::baselines::{antisat_lock, sfll_lock, xor_lock};
 use ril_core::metrics::output_corruptibility;
 use ril_core::{Obfuscator, RilBlockSpec};
 use ril_netlist::generators;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let host = generators::multiplier(6);
@@ -53,7 +53,10 @@ fn main() {
             .expect("lock"),
     );
     measure("XOR (EPIC) 24 bits", &xor_lock(&host, 24, 4).expect("lock"));
-    measure("Anti-SAT 10 bits", &antisat_lock(&host, 10, 5).expect("lock"));
+    measure(
+        "Anti-SAT 10 bits",
+        &antisat_lock(&host, 10, 5).expect("lock"),
+    );
     measure("SFLL 10 bits", &sfll_lock(&host, 10, 6).expect("lock"));
 
     print_table(

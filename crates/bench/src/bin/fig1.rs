@@ -62,7 +62,8 @@ fn lock_with_encoding(host: &Netlist, count: usize, meso: bool) -> LockedCircuit
             materialize_lut2(&mut nl, a, b, [knets[0], knets[1], knets[2], knets[3]])
                 .expect("build")
         };
-        nl.add_gate(GateKind::Buf, &[new_out], out).expect("re-drive");
+        nl.add_gate(GateKind::Buf, &[new_out], out)
+            .expect("re-drive");
     }
     LockedCircuit {
         original: host.clone(),
@@ -94,14 +95,22 @@ fn main() {
             };
             let report = sat_attack(&locked.netlist, &mut oracle, &cfg);
             let extra_gates = locked.netlist.gate_count() - host.gate_count();
-            row.push(format!("{} ({} extra gates)", report.table_cell(), extra_gates));
+            row.push(format!(
+                "{} ({} extra gates)",
+                report.table_cell(),
+                extra_gates
+            ));
         }
         rows.push(row);
         eprintln!("  {count} devices done");
     }
     print_table(
         "Fig. 1 — SAT-attack seconds per encoding",
-        &["Devices", "MESO form (8 gates + 7 MUX)", "LUT-2 form (3 MUX)"],
+        &[
+            "Devices",
+            "MESO form (8 gates + 7 MUX)",
+            "LUT-2 form (3 MUX)",
+        ],
         &rows,
     );
     println!(

@@ -26,9 +26,25 @@ fn main() {
     let out = trace.signal("OUT").expect("signal exists");
     let v = |slot: usize| out[slot * spb + spb - 1] > sim.vdd / 2.0;
     println!("\nRead-back summary:");
-    println!("  AND : 00→{} 10→{} 01→{} 11→{} (expect 0 0 0 1)", v(4) as u8, v(5) as u8, v(6) as u8, v(7) as u8);
-    println!("  NOR : 00→{} 10→{} 01→{} 11→{} (expect 1 0 0 0)", v(13) as u8, v(14) as u8, v(15) as u8, v(16) as u8);
-    println!("  SE  : 00→{} 11→{} (scan reads of NOR, inverted: expect 0 1)", v(19) as u8, v(20) as u8);
+    println!(
+        "  AND : 00→{} 10→{} 01→{} 11→{} (expect 0 0 0 1)",
+        v(4) as u8,
+        v(5) as u8,
+        v(6) as u8,
+        v(7) as u8
+    );
+    println!(
+        "  NOR : 00→{} 10→{} 01→{} 11→{} (expect 1 0 0 0)",
+        v(13) as u8,
+        v(14) as u8,
+        v(15) as u8,
+        v(16) as u8
+    );
+    println!(
+        "  SE  : 00→{} 11→{} (scan reads of NOR, inverted: expect 0 1)",
+        v(19) as u8,
+        v(20) as u8
+    );
 
     let path = "fig5_waveforms.csv";
     std::fs::write(path, trace.to_csv()).expect("write csv");

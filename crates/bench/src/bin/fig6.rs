@@ -32,37 +32,61 @@ fn main() {
             "Read current, value 0 (µA)".into(),
             format!("{:.2}", report.read0_current_ua.mean()),
             format!("{:.2}", report.read0_current_ua.std_dev()),
-            format!("{:.2}–{:.2}", report.read0_current_ua.min(), report.read0_current_ua.max()),
+            format!(
+                "{:.2}–{:.2}",
+                report.read0_current_ua.min(),
+                report.read0_current_ua.max()
+            ),
         ],
         vec![
             "Read current, value 1 (µA)".into(),
             format!("{:.2}", report.read1_current_ua.mean()),
             format!("{:.2}", report.read1_current_ua.std_dev()),
-            format!("{:.2}–{:.2}", report.read1_current_ua.min(), report.read1_current_ua.max()),
+            format!(
+                "{:.2}–{:.2}",
+                report.read1_current_ua.min(),
+                report.read1_current_ua.max()
+            ),
         ],
         vec![
             "Read power, value 0 (µW)".into(),
             format!("{:.2}", report.read0_power_uw.mean()),
             format!("{:.2}", report.read0_power_uw.std_dev()),
-            format!("{:.2}–{:.2}", report.read0_power_uw.min(), report.read0_power_uw.max()),
+            format!(
+                "{:.2}–{:.2}",
+                report.read0_power_uw.min(),
+                report.read0_power_uw.max()
+            ),
         ],
         vec![
             "Read power, value 1 (µW)".into(),
             format!("{:.2}", report.read1_power_uw.mean()),
             format!("{:.2}", report.read1_power_uw.std_dev()),
-            format!("{:.2}–{:.2}", report.read1_power_uw.min(), report.read1_power_uw.max()),
+            format!(
+                "{:.2}–{:.2}",
+                report.read1_power_uw.min(),
+                report.read1_power_uw.max()
+            ),
         ],
         vec![
             "R_P (Ω)".into(),
             format!("{:.0}", report.r_parallel.mean()),
             format!("{:.0}", report.r_parallel.std_dev()),
-            format!("{:.0}–{:.0}", report.r_parallel.min(), report.r_parallel.max()),
+            format!(
+                "{:.0}–{:.0}",
+                report.r_parallel.min(),
+                report.r_parallel.max()
+            ),
         ],
         vec![
             "R_AP (Ω)".into(),
             format!("{:.0}", report.r_antiparallel.mean()),
             format!("{:.0}", report.r_antiparallel.std_dev()),
-            format!("{:.0}–{:.0}", report.r_antiparallel.min(), report.r_antiparallel.max()),
+            format!(
+                "{:.0}–{:.0}",
+                report.r_antiparallel.min(),
+                report.r_antiparallel.max()
+            ),
         ],
     ];
     print_table(

@@ -40,7 +40,12 @@ fn main() {
     }
     print_table(
         "Correct keys in routing-only locks (RIL boxes vs FullLock boxes)",
-        &["Network", "RIL correct keys", "FullLock correct keys", "Overhead (RIL vs FullLock)"],
+        &[
+            "Network",
+            "RIL correct keys",
+            "FullLock correct keys",
+            "Overhead (RIL vs FullLock)",
+        ],
         &rows,
     );
     println!(

@@ -46,8 +46,17 @@ fn main() {
         let spec = RilBlockSpec::parse(spec_str).expect("valid spec");
         // Keep the absorbed-gate count comparable (~4 gates).
         let blocks = (4 / spec.luts()).max(1);
-        match Obfuscator::new(spec).blocks(blocks).seed(55).obfuscate(&host) {
-            Err(e) => rows.push(vec![spec_str.into(), format!("error: {e}"), String::new(), String::new()]),
+        match Obfuscator::new(spec)
+            .blocks(blocks)
+            .seed(55)
+            .obfuscate(&host)
+        {
+            Err(e) => rows.push(vec![
+                spec_str.into(),
+                format!("error: {e}"),
+                String::new(),
+                String::new(),
+            ]),
             Ok(locked) => {
                 let report = run_sat_attack(&locked, &cfg).expect("sim ok");
                 rows.push(vec![

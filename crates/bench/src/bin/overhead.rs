@@ -21,7 +21,10 @@ fn main() {
     for (spec, blocks) in configs {
         let o = ril_overhead(&spec, blocks);
         rows.push(vec![
-            format!("{blocks} × {spec}{}", if spec.scan_obfuscation { " +SE" } else { "" }),
+            format!(
+                "{blocks} × {spec}{}",
+                if spec.scan_obfuscation { " +SE" } else { "" }
+            ),
             o.muxes.to_string(),
             o.transistors.to_string(),
             o.mtjs.to_string(),
@@ -47,19 +50,35 @@ fn main() {
         (RilBlockSpec::size_2x2(), 75usize, 1u64),
         (RilBlockSpec::size_8x8x8(), 3, 2),
     ] {
-        match Obfuscator::new(spec).blocks(blocks).seed(seed).obfuscate(&host) {
-            Err(e) => rows.push(vec![format!("{blocks} × {spec}"), format!("error: {e}"), String::new(), String::new()]),
+        match Obfuscator::new(spec)
+            .blocks(blocks)
+            .seed(seed)
+            .obfuscate(&host)
+        {
+            Err(e) => rows.push(vec![
+                format!("{blocks} × {spec}"),
+                format!("error: {e}"),
+                String::new(),
+                String::new(),
+            ]),
             Ok(locked) => rows.push(vec![
                 format!("{blocks} × {spec}"),
-                format!("{} (+{:.1} %)", locked.gate_overhead(),
-                    100.0 * locked.gate_overhead() as f64 / host.gate_count() as f64),
+                format!(
+                    "{} (+{:.1} %)",
+                    locked.gate_overhead(),
+                    100.0 * locked.gate_overhead() as f64 / host.gate_count() as f64
+                ),
                 locked.key_width().to_string(),
                 format!("{}", locked.verify(8).expect("sim ok")),
             ]),
         }
     }
     print_table(
-        &format!("Measured on `{}` ({} gates)", host.name(), host.gate_count()),
+        &format!(
+            "Measured on `{}` ({} gates)",
+            host.name(),
+            host.gate_count()
+        ),
         &["Config", "Gate overhead", "Key bits", "Verified"],
         &rows,
     );

@@ -1,13 +1,21 @@
 //! Table I — SAT-attack seconds vs. number and size of RIL-Blocks on the
 //! c7552-class host. `RIL_TABLE1_FULL=1` runs the paper's full row set.
+//!
+//! Cells run in parallel across cores (`RIL_THREADS` to override); the
+//! full per-cell attack reports, including per-DIP-iteration solver
+//! statistics, land in `exp_out/BENCH_table1.json`.
 
-use ril_bench::{attack_cell, cell_timeout, print_table};
+use ril_bench::{
+    attack_cell_report, cell_timeout, parallel_sweep, print_table, sweep_threads, write_output_file,
+};
 use ril_core::RilBlockSpec;
 use ril_netlist::generators;
 
-/// The paper's Table I, for side-by-side printing: (blocks, 2x2, 8x8,
-/// 8x8x8) with `None` = ∞.
-const PAPER: &[(usize, Option<f64>, Option<f64>, Option<f64>)] = &[
+/// One reported Table I row: (blocks, 2x2, 8x8, 8x8x8) with `None` = ∞.
+type PaperRow = (usize, Option<f64>, Option<f64>, Option<f64>);
+
+/// The paper's Table I, for side-by-side printing.
+const PAPER: &[PaperRow] = &[
     (1, Some(0.31), Some(0.63), Some(23.53)),
     (2, Some(0.35), Some(6.33), Some(198.556)),
     (3, Some(0.405), Some(20.422), None),
@@ -24,14 +32,17 @@ fn paper_cell(v: Option<f64>) -> String {
     v.map(|s| format!("{s}")).unwrap_or_else(|| "∞".into())
 }
 
+const SPEC_NAMES: [&str; 3] = ["2x2", "8x8", "8x8x8"];
+
 fn main() {
     let full = std::env::var("RIL_TABLE1_FULL").is_ok_and(|v| v == "1");
     let host = generators::benchmark("c7552").expect("known benchmark");
     println!(
-        "Table I reproduction — host `{}` ({}), timeout {:?} (paper: 5 days on c7552)",
+        "Table I reproduction — host `{}` ({}), timeout {:?} (paper: 5 days on c7552), {} worker threads",
         host.name(),
         host.stats(),
-        cell_timeout()
+        cell_timeout(),
+        sweep_threads()
     );
     let rows_wanted: Vec<usize> = if full {
         PAPER.iter().map(|r| r.0).collect()
@@ -43,23 +54,52 @@ fn main() {
         RilBlockSpec::size_8x8(),
         RilBlockSpec::size_8x8x8(),
     ];
+
+    // One job per table cell, fanned across cores.
+    let cells: Vec<(usize, usize)> = rows_wanted
+        .iter()
+        .flat_map(|&count| (0..specs.len()).map(move |si| (count, si)))
+        .collect();
+    let outcomes = parallel_sweep(&cells, |_, &(count, si)| {
+        let outcome = attack_cell_report(&host, specs[si], count, 1000 + count as u64);
+        eprintln!("  cell {count}x{}: {}", SPEC_NAMES[si], outcome.cell);
+        outcome
+    });
+
     let mut rows = Vec::new();
-    for &count in &rows_wanted {
+    let mut json_cells = Vec::new();
+    for (ri, &count) in rows_wanted.iter().enumerate() {
         let paper = PAPER.iter().find(|r| r.0 == count).expect("row exists");
         let mut row = vec![count.to_string()];
-        for (i, spec) in specs.iter().enumerate() {
-            let measured = attack_cell(&host, *spec, count, 1000 + count as u64);
-            let p = paper_cell([paper.1, paper.2, paper.3][i]);
-            row.push(format!("{measured} (paper {p})"));
+        for si in 0..specs.len() {
+            let outcome = &outcomes[ri * specs.len() + si];
+            let p = paper_cell([paper.1, paper.2, paper.3][si]);
+            row.push(format!("{} (paper {p})", outcome.cell));
+            json_cells.push(format!(
+                r#"{{"blocks":{count},"spec":"{}","cell":"{}","report":{}}}"#,
+                SPEC_NAMES[si],
+                outcome.cell,
+                outcome.report_json()
+            ));
         }
         rows.push(row);
-        eprintln!("  row {count} done");
     }
     print_table(
         "Table I — SAT-attack seconds, measured (paper)",
         &["RIL Blocks", "2x2", "8x8", "8x8x8"],
         &rows,
     );
+    let json = format!(
+        r#"{{"table":"table1","host":"{}","timeout_s":{},"threads":{},"cells":[{}]}}"#,
+        host.name(),
+        cell_timeout().as_secs_f64(),
+        sweep_threads(),
+        json_cells.join(",")
+    );
+    match write_output_file("BENCH_table1.json", &json) {
+        Ok(path) => println!("\nPer-cell solver statistics: {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_table1.json: {e}"),
+    }
     println!(
         "\nShape check: larger/more blocks ⇒ slower attack; 8x8x8 rows reach ∞ first,\n\
          matching the paper's ordering (absolute numbers differ: synthetic host,\n\

@@ -2,14 +2,24 @@
 //! ITC-99 and CEP benchmark set, plus the AppSAT column under the armed
 //! Scan-Enable circuitry (✗ = attack fails, as the paper reports for every
 //! circuit).
+//!
+//! Cells run in parallel across cores (`RIL_THREADS` to override); full
+//! per-cell attack reports, including per-DIP-iteration solver statistics,
+//! land in `exp_out/BENCH_table3.json`.
 
 use ril_attacks::{run_appsat, AppSatConfig};
-use ril_bench::{attack_cell, cell_timeout, defense_held, lock_with_armed_se, print_table};
+use ril_bench::{
+    attack_cell_report, cell_timeout, defense_held, lock_with_armed_se, parallel_sweep,
+    print_table, sweep_threads, write_output_file, CellOutcome,
+};
 use ril_core::RilBlockSpec;
 use ril_netlist::generators;
 
-/// Paper Table III (seconds; None = ∞) per benchmark for 1/2/3 blocks.
-const PAPER: &[(&str, Option<f64>, Option<f64>, Option<f64>)] = &[
+/// One reported Table III row: (benchmark, 1, 2, 3 blocks; None = ∞).
+type PaperRow = (&'static str, Option<f64>, Option<f64>, Option<f64>);
+
+/// Paper Table III per benchmark for 1/2/3 blocks.
+const PAPER: &[PaperRow] = &[
     ("b15", Some(124.25), Some(546.2), None),
     ("s35932", Some(105.1), Some(1864.2), None),
     ("s38584", Some(345.2), None, None),
@@ -20,48 +30,121 @@ const PAPER: &[(&str, Option<f64>, Option<f64>, Option<f64>)] = &[
     ("gps", None, None, None),
 ];
 
-fn main() {
-    println!(
-        "Table III reproduction — timeout {:?} per cell (paper: 5 days)",
-        cell_timeout()
-    );
-    let spec = RilBlockSpec::size_8x8x8();
-    let mut rows = Vec::new();
-    for &(name, p1, p2, p3) in PAPER {
-        let host = generators::benchmark(name).expect("known benchmark");
-        eprintln!("  {name}: {}", host.stats());
-        let mut row = vec![name.to_string()];
-        for (blocks, paper) in [(1usize, p1), (2, p2), (3, p3)] {
-            let measured = attack_cell(&host, spec, blocks, 7 + blocks as u64);
-            let p = paper.map(|s| s.to_string()).unwrap_or_else(|| "∞".into());
-            row.push(format!("{measured} (paper {p})"));
-        }
-        // AppSAT with the SE circuitry armed — the ✗ column.
-        let appsat_cell = match lock_with_armed_se(&host, spec, 1, 100) {
-            None => "n/a".to_string(),
-            Some(locked) => {
-                let cfg = AppSatConfig {
-                    timeout: Some(cell_timeout()),
-                    ..AppSatConfig::default()
-                };
-                match run_appsat(&locked, &cfg) {
-                    Err(e) => format!("err:{e}"),
-                    Ok(report) => {
-                        if defense_held(&report.result, report.functionally_correct) {
-                            "✗ (paper ✗)".to_string()
-                        } else {
-                            "BROKE DEFENSE (paper ✗)".to_string()
-                        }
+/// One parallel job: a SAT cell (`blocks` ≥ 1) or the AppSAT/SE column
+/// (`blocks` = 0).
+#[derive(Clone, Copy)]
+struct Cell {
+    bench: &'static str,
+    blocks: usize,
+}
+
+fn appsat_cell(host: &ril_netlist::Netlist, spec: RilBlockSpec) -> CellOutcome {
+    match lock_with_armed_se(host, spec, 1, 100) {
+        None => CellOutcome::bare("n/a"),
+        Some(locked) => {
+            let cfg = AppSatConfig {
+                timeout: Some(cell_timeout()),
+                ..AppSatConfig::default()
+            };
+            match run_appsat(&locked, &cfg) {
+                Err(e) => CellOutcome::bare(format!("err:{e}")),
+                Ok(report) => {
+                    let cell = if defense_held(&report.result, report.functionally_correct) {
+                        "✗ (paper ✗)".to_string()
+                    } else {
+                        "BROKE DEFENSE (paper ✗)".to_string()
+                    };
+                    CellOutcome {
+                        cell,
+                        report: Some(report),
                     }
                 }
             }
+        }
+    }
+}
+
+fn main() {
+    println!(
+        "Table III reproduction — timeout {:?} per cell (paper: 5 days), {} worker threads",
+        cell_timeout(),
+        sweep_threads()
+    );
+    let spec = RilBlockSpec::size_8x8x8();
+
+    let cells: Vec<Cell> = PAPER
+        .iter()
+        .flat_map(|&(name, ..)| {
+            [1usize, 2, 3, 0].map(|blocks| Cell {
+                bench: name,
+                blocks,
+            })
+        })
+        .collect();
+    let outcomes = parallel_sweep(&cells, |_, cell| {
+        let host = generators::benchmark(cell.bench).expect("known benchmark");
+        let outcome = if cell.blocks == 0 {
+            appsat_cell(&host, spec)
+        } else {
+            attack_cell_report(&host, spec, cell.blocks, 7 + cell.blocks as u64)
         };
-        row.push(appsat_cell);
+        eprintln!(
+            "  {} {}: {}",
+            cell.bench,
+            if cell.blocks == 0 {
+                "appsat/SE".to_string()
+            } else {
+                format!("{} block(s)", cell.blocks)
+            },
+            outcome.cell
+        );
+        outcome
+    });
+
+    let mut rows = Vec::new();
+    let mut json_cells = Vec::new();
+    for (bi, &(name, p1, p2, p3)) in PAPER.iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        for (ci, paper) in [(0usize, p1), (1, p2), (2, p3)] {
+            let outcome = &outcomes[bi * 4 + ci];
+            let p = paper.map(|s| s.to_string()).unwrap_or_else(|| "∞".into());
+            row.push(format!("{} (paper {p})", outcome.cell));
+            json_cells.push(format!(
+                r#"{{"bench":"{name}","blocks":{},"attack":"sat","cell":"{}","report":{}}}"#,
+                ci + 1,
+                outcome.cell,
+                outcome.report_json()
+            ));
+        }
+        // AppSAT with the SE circuitry armed — the ✗ column.
+        let appsat = &outcomes[bi * 4 + 3];
+        row.push(appsat.cell.clone());
+        json_cells.push(format!(
+            r#"{{"bench":"{name}","blocks":1,"attack":"appsat_se","cell":"{}","report":{}}}"#,
+            appsat.cell,
+            appsat.report_json()
+        ));
         rows.push(row);
     }
     print_table(
         "Table III — SAT seconds with N 8x8x8 RIL-Blocks, measured (paper)",
-        &["Circuit", "1 block", "2 blocks", "3 blocks", "AppSAT success"],
+        &[
+            "Circuit",
+            "1 block",
+            "2 blocks",
+            "3 blocks",
+            "AppSAT success",
+        ],
         &rows,
     );
+    let json = format!(
+        r#"{{"table":"table3","timeout_s":{},"threads":{},"cells":[{}]}}"#,
+        cell_timeout().as_secs_f64(),
+        sweep_threads(),
+        json_cells.join(",")
+    );
+    match write_output_file("BENCH_table3.json", &json) {
+        Ok(path) => println!("\nPer-cell solver statistics: {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_table3.json: {e}"),
+    }
 }

@@ -14,14 +14,24 @@ fn main() {
             format!("{:.2} fJ", m.read0_fj),
             format!("{:.2} fJ", m.read1_fj),
             format!("{:.2} fJ", m.read_avg_fj()),
-            format!("{:.2} / {:.2} / {:.2} fJ", p.read0_fj, p.read1_fj, p.read_avg_fj()),
+            format!(
+                "{:.2} / {:.2} / {:.2} fJ",
+                p.read0_fj,
+                p.read1_fj,
+                p.read_avg_fj()
+            ),
         ],
         vec![
             "Write".into(),
             format!("{:.2} fJ", m.write0_fj),
             format!("{:.2} fJ", m.write1_fj),
             format!("{:.2} fJ", m.write_avg_fj()),
-            format!("{:.2} / {:.2} / {:.2} fJ", p.write0_fj, p.write1_fj, p.write_avg_fj()),
+            format!(
+                "{:.2} / {:.2} / {:.2} fJ",
+                p.write0_fj,
+                p.write1_fj,
+                p.write_avg_fj()
+            ),
         ],
         vec![
             "Standby".into(),
@@ -33,7 +43,13 @@ fn main() {
     ];
     print_table(
         "Table IV — MRAM-based LUT energy (measured vs paper)",
-        &["Operation", "Logic \"0\"", "Logic \"1\"", "Average", "Paper (0/1/avg)"],
+        &[
+            "Operation",
+            "Logic \"0\"",
+            "Logic \"1\"",
+            "Average",
+            "Paper (0/1/avg)",
+        ],
         &rows,
     );
     println!(

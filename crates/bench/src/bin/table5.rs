@@ -13,7 +13,11 @@ use ril_netlist::generators;
 use ril_sca::{key_recovery_rate, LutTechnology};
 
 fn mark(held: bool) -> String {
-    if held { "✓".into() } else { "✗".into() }
+    if held {
+        "✓".into()
+    } else {
+        "✗".into()
+    }
 }
 
 fn main() {
@@ -27,8 +31,14 @@ fn main() {
         // Wide point-function keys ⇒ exponentially many DIPs (the SFLL /
         // Anti-SAT SAT-resistance the paper credits them with).
         ("SFLL", sfll_lock(&host, 14, 1).expect("host large enough")),
-        ("Anti-SAT (CAS-class)", antisat_lock(&host, 12, 2).expect("host large enough")),
-        ("XOR (EPIC)", xor_lock(&generators::adder(8), 12, 3).expect("host large enough")),
+        (
+            "Anti-SAT (CAS-class)",
+            antisat_lock(&host, 12, 2).expect("host large enough"),
+        ),
+        (
+            "XOR (EPIC)",
+            xor_lock(&generators::adder(8), 12, 3).expect("host large enough"),
+        ),
         (
             "RIL (static)",
             // The Table-I-hard configuration: ten 8x8x8 blocks on the

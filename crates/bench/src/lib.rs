@@ -20,7 +20,11 @@
 
 #![warn(missing_docs)]
 
-use ril_attacks::{run_sat_attack, AttackResult, SatAttackConfig};
+pub mod sweep;
+
+pub use sweep::{parallel_sweep, sweep_threads};
+
+use ril_attacks::{run_sat_attack, AttackReport, AttackResult, SatAttackConfig};
 use ril_core::{LockedCircuit, Obfuscator, RilBlockSpec};
 use ril_netlist::Netlist;
 use std::time::Duration;
@@ -62,30 +66,96 @@ pub fn cell_timeout() -> Duration {
     ril_attacks::default_timeout()
 }
 
+/// One table cell's outcome: the rendered cell plus, when an attack
+/// actually ran, the full [`AttackReport`] (with per-iteration solver
+/// statistics) for machine-readable output.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The table cell string (`seconds`, `∞`, `n/a`, `err:…`).
+    pub cell: String,
+    /// The underlying attack report, when one was produced.
+    pub report: Option<AttackReport>,
+}
+
+impl CellOutcome {
+    /// A cell with no attack behind it (`n/a`, `err:…`).
+    pub fn bare(cell: impl Into<String>) -> CellOutcome {
+        CellOutcome {
+            cell: cell.into(),
+            report: None,
+        }
+    }
+
+    /// The cell's JSON value: the report object, or `null` for bare cells.
+    pub fn report_json(&self) -> String {
+        self.report
+            .as_ref()
+            .map(AttackReport::to_json)
+            .unwrap_or_else(|| "null".to_string())
+    }
+}
+
 /// Locks `host` with `blocks` RIL-Blocks of shape `spec` and runs the SAT
 /// attack; returns the table cell string (`seconds`, `∞`, or `n/a` when the
 /// host cannot host that many independent blocks).
 pub fn attack_cell(host: &Netlist, spec: RilBlockSpec, blocks: usize, seed: u64) -> String {
-    match Obfuscator::new(spec).blocks(blocks).seed(seed).obfuscate(host) {
-        Err(_) => "n/a".to_string(),
+    attack_cell_report(host, spec, blocks, seed).cell
+}
+
+/// Like [`attack_cell`], but keeps the full [`AttackReport`] (per-iteration
+/// DIP statistics included) alongside the rendered cell.
+pub fn attack_cell_report(
+    host: &Netlist,
+    spec: RilBlockSpec,
+    blocks: usize,
+    seed: u64,
+) -> CellOutcome {
+    match Obfuscator::new(spec)
+        .blocks(blocks)
+        .seed(seed)
+        .obfuscate(host)
+    {
+        Err(_) => CellOutcome::bare("n/a"),
         Ok(locked) => {
             let cfg = SatAttackConfig {
                 timeout: Some(cell_timeout()),
                 ..SatAttackConfig::default()
             };
             match run_sat_attack(&locked, &cfg) {
-                Err(e) => format!("err:{e}"),
+                Err(e) => CellOutcome::bare(format!("err:{e}")),
                 Ok(report) => {
-                    if report.result.succeeded() && report.functionally_correct == Some(false) {
+                    let cell = if report.result.succeeded()
+                        && report.functionally_correct == Some(false)
+                    {
                         // Recovered a key that does not actually unlock.
                         format!("{}(✗)", report.table_cell())
                     } else {
                         report.table_cell()
+                    };
+                    CellOutcome {
+                        cell,
+                        report: Some(report),
                     }
                 }
             }
         }
     }
+}
+
+/// Writes a benchmark's machine-readable output to
+/// `$RIL_OUT_DIR/<name>` (default `exp_out/<name>`), creating the
+/// directory if needed. Returns the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_output_file(name: &str, content: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var("RIL_OUT_DIR").unwrap_or_else(|_| "exp_out".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, content)?;
+    Ok(path)
 }
 
 /// Obfuscates with the Scan-Enable stage on, retrying seeds until at least

@@ -163,12 +163,14 @@ impl ComplementaryCell {
         // Drive current: supply over driver + device resistance (worst of
         // the two states during switching — use the mean).
         let r_main = (self.main.params().r_parallel() + self.main.params().r_antiparallel()) / 2.0;
-        let r_comp =
-            (self.complement.params().r_parallel() + self.complement.params().r_antiparallel())
-                / 2.0;
+        let r_comp = (self.complement.params().r_parallel()
+            + self.complement.params().r_antiparallel())
+            / 2.0;
         let i_main = self.circuit.v_write / (self.circuit.r_driver + r_main) * 1e6; // µA
         let i_comp = self.circuit.v_write / (self.circuit.r_driver + r_comp) * 1e6;
-        let ok_main = self.main.write(main_target, i_main, self.circuit.t_write_ns);
+        let ok_main = self
+            .main
+            .write(main_target, i_main, self.circuit.t_write_ns);
         let ok_comp = self
             .complement
             .write(main_target.flipped(), i_comp, self.circuit.t_write_ns);
@@ -176,8 +178,7 @@ impl ComplementaryCell {
         // (higher critical current sustained longer).
         // µW · ns = fJ, so V (V) × I (µA) × t (ns) is already femtojoules.
         let asym = if value { 1.014 } else { 1.0 };
-        let energy_fj =
-            self.circuit.v_write * (i_main + i_comp) * self.circuit.t_write_ns * asym;
+        let energy_fj = self.circuit.v_write * (i_main + i_comp) * self.circuit.t_write_ns * asym;
         WriteSample {
             success: ok_main && ok_comp,
             current_ua: i_main.max(i_comp),
@@ -263,7 +264,11 @@ mod tests {
         let mut cell = ComplementaryCell::with_defaults();
         cell.write(false);
         let r = cell.read();
-        assert!(r.energy_fj > 5.0 && r.energy_fj < 25.0, "read {} fJ", r.energy_fj);
+        assert!(
+            r.energy_fj > 5.0 && r.energy_fj < 25.0,
+            "read {} fJ",
+            r.energy_fj
+        );
     }
 
     #[test]

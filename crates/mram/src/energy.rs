@@ -48,7 +48,10 @@ pub fn measure_mram_profile() -> EnergyProfile {
     lut0.program(0b1111);
     let skip = lut0.write_log().len();
     lut0.program(0b0000);
-    let w0: Vec<f64> = lut0.write_log()[skip..].iter().map(|w| w.energy_fj).collect();
+    let w0: Vec<f64> = lut0.write_log()[skip..]
+        .iter()
+        .map(|w| w.energy_fj)
+        .collect();
 
     let mut rlut = MramLut2::with_defaults();
     rlut.program(0b0110); // XOR: both values present
@@ -114,7 +117,11 @@ mod tests {
     #[test]
     fn mram_read_asymmetry_is_near_zero() {
         let p = measure_mram_profile();
-        assert!(p.read_asymmetry() < 0.01, "asymmetry {}", p.read_asymmetry());
+        assert!(
+            p.read_asymmetry() < 0.01,
+            "asymmetry {}",
+            p.read_asymmetry()
+        );
     }
 
     #[test]

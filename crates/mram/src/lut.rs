@@ -147,7 +147,11 @@ impl MramLut2 {
         let r: ReadSample = cell.read();
         // The SE stage: a 2:1 MUX between O and !O steered by MTJ_SE & SE.
         let invert = se && self.se_cell.stored();
-        let se_read_energy = if se { self.se_cell.read().energy_fj * 0.1 } else { 0.0 };
+        let se_read_energy = if se {
+            self.se_cell.read().energy_fj * 0.1
+        } else {
+            0.0
+        };
         LutReadSample {
             out: r.value ^ invert,
             o_internal: r.value,

@@ -68,7 +68,10 @@ impl Distribution {
 
     /// Maximum sample.
     pub fn max(&self) -> f64 {
-        self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Histogram over `bins` equal-width buckets spanning [min, max].

@@ -256,11 +256,7 @@ impl TransientSim {
         }
         WaveformTrace {
             time_ns,
-            signals: names
-                .iter()
-                .map(|s| s.to_string())
-                .zip(sampled)
-                .collect(),
+            signals: names.iter().map(|s| s.to_string()).zip(sampled).collect(),
         }
     }
 
@@ -304,18 +300,18 @@ mod tests {
         // Slots 0..4 = write AND (4 sub-slots), 4..8 = reads 00,10,01,11.
         assert!(!slot_re(0));
         assert!(slot_re(4));
-        assert_eq!(slot_val(4), false); // AND(0,0)
-        assert_eq!(slot_val(5), false); // AND(1,0)
-        assert_eq!(slot_val(6), false); // AND(0,1)
-        assert_eq!(slot_val(7), true); // AND(1,1)
-        // Slot 8 idle; 9..13 write NOR; reads at 13..17.
-        assert_eq!(slot_val(13), true); // NOR(0,0)
-        assert_eq!(slot_val(14), false);
-        assert_eq!(slot_val(15), false);
-        assert_eq!(slot_val(16), false); // NOR(1,1)
-        // Slot 17 idle, 18 = write SE, 19..21 scan reads (inverted NOR).
-        assert_eq!(slot_val(19), false); // !NOR(0,0)
-        assert_eq!(slot_val(20), true); // !NOR(1,1)
+        assert!(!slot_val(4)); // AND(0,0)
+        assert!(!slot_val(5)); // AND(1,0)
+        assert!(!slot_val(6)); // AND(0,1)
+        assert!(slot_val(7)); // AND(1,1)
+                              // Slot 8 idle; 9..13 write NOR; reads at 13..17.
+        assert!(slot_val(13)); // NOR(0,0)
+        assert!(!slot_val(14));
+        assert!(!slot_val(15));
+        assert!(!slot_val(16)); // NOR(1,1)
+                                // Slot 17 idle, 18 = write SE, 19..21 scan reads (inverted NOR).
+        assert!(!slot_val(19)); // !NOR(0,0)
+        assert!(slot_val(20)); // !NOR(1,1)
     }
 
     #[test]

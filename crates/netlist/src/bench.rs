@@ -255,10 +255,18 @@ pub fn write_bench(nl: &Netlist) -> String {
         let lhs = nl.net(gate.output()).name();
         match gate.kind() {
             GateKind::Lut2(tt) => {
-                out.push_str(&format!("{lhs} = LUT2(0x{:x}, {})\n", tt & 0xf, args.join(", ")));
+                out.push_str(&format!(
+                    "{lhs} = LUT2(0x{:x}, {})\n",
+                    tt & 0xf,
+                    args.join(", ")
+                ));
             }
             kind => {
-                out.push_str(&format!("{lhs} = {}({})\n", kind.mnemonic(), args.join(", ")));
+                out.push_str(&format!(
+                    "{lhs} = {}({})\n",
+                    kind.mnemonic(),
+                    args.join(", ")
+                ));
             }
         }
     }
@@ -408,8 +416,11 @@ mod tests {
 
     #[test]
     fn bad_tt_literal_rejected() {
-        let err =
-            parse_bench("bad", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = LUT2(0x99, a, b)\n").unwrap_err();
+        let err = parse_bench(
+            "bad",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = LUT2(0x99, a, b)\n",
+        )
+        .unwrap_err();
         assert!(matches!(err, ParseBenchError::Syntax { .. }));
     }
 }

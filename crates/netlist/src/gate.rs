@@ -382,7 +382,11 @@ mod tests {
         for pattern in 0u8..8 {
             let bits: Vec<bool> = (0..3).map(|i| (pattern >> i) & 1 == 1).collect();
             let words: Vec<u64> = bits.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
-            let expect = if GateKind::Mux.eval_bits(&bits) { u64::MAX } else { 0 };
+            let expect = if GateKind::Mux.eval_bits(&bits) {
+                u64::MAX
+            } else {
+                0
+            };
             assert_eq!(GateKind::Mux.eval_words(&words), expect);
         }
         for tt in 0u8..16 {

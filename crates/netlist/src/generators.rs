@@ -30,7 +30,11 @@ pub fn const_net(nl: &mut Netlist, bit: bool) -> NetId {
         return id;
     }
     let id = nl.add_net(name).expect("const net name free");
-    let kind = if bit { GateKind::Const1 } else { GateKind::Const0 };
+    let kind = if bit {
+        GateKind::Const1
+    } else {
+        GateKind::Const0
+    };
     nl.add_gate(kind, &[], id).expect("const gate");
     id
 }
@@ -46,19 +50,28 @@ fn g1(nl: &mut Netlist, kind: GateKind, a: NetId) -> NetId {
 /// Bitwise XOR of two equal-width words.
 pub fn word_xor(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
     assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(&x, &y)| g2(nl, GateKind::Xor, x, y)).collect()
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| g2(nl, GateKind::Xor, x, y))
+        .collect()
 }
 
 /// Bitwise AND of two equal-width words.
 pub fn word_and(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
     assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(&x, &y)| g2(nl, GateKind::And, x, y)).collect()
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| g2(nl, GateKind::And, x, y))
+        .collect()
 }
 
 /// Bitwise OR of two equal-width words.
 pub fn word_or(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
     assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(&x, &y)| g2(nl, GateKind::Or, x, y)).collect()
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| g2(nl, GateKind::Or, x, y))
+        .collect()
 }
 
 /// Bitwise NOT of a word.
@@ -111,7 +124,10 @@ pub fn word_mux(nl: &mut Netlist, s: NetId, a: &[NetId], b: &[NetId]) -> Vec<Net
     assert_eq!(a.len(), b.len());
     a.iter()
         .zip(b)
-        .map(|(&x, &y)| nl.add_gate_fresh(GateKind::Mux, &[s, x, y], "m").expect("mux"))
+        .map(|(&x, &y)| {
+            nl.add_gate_fresh(GateKind::Mux, &[s, x, y], "m")
+                .expect("mux")
+        })
         .collect()
 }
 
@@ -173,7 +189,8 @@ pub fn nibble_sbox(nl: &mut Netlist, x: &[NetId], table: &[u8; 16]) -> Vec<NetId
             let lits: Vec<NetId> = (0..4)
                 .map(|i| if (m >> i) & 1 == 1 { x[i] } else { nots[i] })
                 .collect();
-            nl.add_gate_fresh(GateKind::And, &lits, "mt").expect("minterm")
+            nl.add_gate_fresh(GateKind::And, &lits, "mt")
+                .expect("minterm")
         })
         .collect();
     (0..4)
@@ -185,7 +202,9 @@ pub fn nibble_sbox(nl: &mut Netlist, x: &[NetId], table: &[u8; 16]) -> Vec<NetId
             match ones.len() {
                 0 => const_net(nl, false),
                 1 => ones[0],
-                _ => nl.add_gate_fresh(GateKind::Or, &ones, "sb").expect("sbox or"),
+                _ => nl
+                    .add_gate_fresh(GateKind::Or, &ones, "sb")
+                    .expect("sbox or"),
             }
         })
         .collect()
@@ -620,9 +639,11 @@ pub fn sequential_lfsr(n: usize, taps: &[usize]) -> Netlist {
     // Feedback = XOR of tap bits.
     let tap_nets: Vec<NetId> = taps.iter().map(|&t| state[t]).collect();
     let fb = if tap_nets.len() == 1 {
-        nl.add_gate_fresh(GateKind::Buf, &[tap_nets[0]], "fb").expect("buf")
+        nl.add_gate_fresh(GateKind::Buf, &[tap_nets[0]], "fb")
+            .expect("buf")
     } else {
-        nl.add_gate_fresh(GateKind::Xor, &tap_nets, "fb").expect("xor")
+        nl.add_gate_fresh(GateKind::Xor, &tap_nets, "fb")
+            .expect("xor")
     };
     // Next state: shift in feedback xor external data.
     let mut next = Vec::with_capacity(n);
@@ -632,7 +653,8 @@ pub fn sequential_lfsr(n: usize, taps: &[usize]) -> Netlist {
         next.push(g2(&mut nl, GateKind::Xor, state[i - 1], din[i]));
     }
     for i in 0..n {
-        nl.add_gate(GateKind::Dff, &[next[i]], state[i]).expect("dff");
+        nl.add_gate(GateKind::Dff, &[next[i]], state[i])
+            .expect("dff");
     }
     // Observable outputs: the state and a parity check.
     output_word(&mut nl, &state);
@@ -737,10 +759,7 @@ mod tests {
         let nl = adder(8);
         nl.validate().unwrap();
         for (a, b) in [(3u64, 5u64), (200, 100), (255, 1), (0, 0)] {
-            let outs = eval_u64(
-                &nl,
-                &[("a".into(), a, 8), ("b".into(), b, 8)],
-            );
+            let outs = eval_u64(&nl, &[("a".into(), a, 8), ("b".into(), b, 8)]);
             let mut sum = 0u64;
             for (i, &bit) in outs.iter().take(8).enumerate() {
                 sum |= (bit as u64) << i;
@@ -830,15 +849,9 @@ mod tests {
         let a = random_circuit(7, 8, 50, 4);
         let b = random_circuit(7, 8, 50, 4);
         a.validate().unwrap();
-        assert_eq!(
-            crate::bench::write_bench(&a),
-            crate::bench::write_bench(&b)
-        );
+        assert_eq!(crate::bench::write_bench(&a), crate::bench::write_bench(&b));
         let c = random_circuit(8, 8, 50, 4);
-        assert_ne!(
-            crate::bench::write_bench(&a),
-            crate::bench::write_bench(&c)
-        );
+        assert_ne!(crate::bench::write_bench(&a), crate::bench::write_bench(&c));
     }
 
     #[test]

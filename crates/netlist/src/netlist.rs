@@ -126,7 +126,9 @@ impl fmt::Display for NetlistError {
             NetlistError::CombinationalCycle(n) => {
                 write!(f, "combinational cycle through net `{n}`")
             }
-            NetlistError::UndrivenNet(n) => write!(f, "net `{n}` has no driver and is not an input"),
+            NetlistError::UndrivenNet(n) => {
+                write!(f, "net `{n}` has no driver and is not an input")
+            }
             NetlistError::InvalidId(s) => write!(f, "invalid id: {s}"),
         }
     }
@@ -160,7 +162,13 @@ impl fmt::Display for NetlistStats {
         write!(
             f,
             "{} gates, {} nets, {} PI ({} key), {} PO, {} DFF, depth {}",
-            self.gates, self.nets, self.inputs, self.key_inputs, self.outputs, self.dffs, self.depth
+            self.gates,
+            self.nets,
+            self.inputs,
+            self.key_inputs,
+            self.outputs,
+            self.dffs,
+            self.depth
         )
     }
 }
@@ -581,7 +589,9 @@ impl Netlist {
         }
         for &out in &self.outputs {
             if self.nets[out.index()].driver.is_none() && !self.inputs.contains(&out) {
-                return Err(NetlistError::UndrivenNet(self.nets[out.index()].name.clone()));
+                return Err(NetlistError::UndrivenNet(
+                    self.nets[out.index()].name.clone(),
+                ));
             }
         }
         self.topo_order()?;
@@ -642,7 +652,9 @@ impl Netlist {
         let mut by_kind: HashMap<String, usize> = HashMap::new();
         let mut dffs = 0;
         for (_, gate) in self.gates() {
-            *by_kind.entry(gate.kind().mnemonic().to_string()).or_insert(0) += 1;
+            *by_kind
+                .entry(gate.kind().mnemonic().to_string())
+                .or_insert(0) += 1;
             if gate.kind() == GateKind::Dff {
                 dffs += 1;
             }
@@ -702,10 +714,7 @@ mod tests {
     fn duplicate_net_rejected() {
         let mut nl = Netlist::new("x");
         nl.add_net("a").unwrap();
-        assert_eq!(
-            nl.add_net("a"),
-            Err(NetlistError::DuplicateNet("a".into()))
-        );
+        assert_eq!(nl.add_net("a"), Err(NetlistError::DuplicateNet("a".into())));
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub struct OptStats {
 impl OptStats {
     /// Total rewrites across all passes.
     pub fn total(&self) -> usize {
-        self.constants_folded + self.inputs_pruned + self.buffers_collapsed
+        self.constants_folded
+            + self.inputs_pruned
+            + self.buffers_collapsed
             + self.dead_gates_removed
     }
 }
@@ -98,7 +100,15 @@ pub fn propagate_constants(nl: &mut Netlist) -> Result<(usize, usize), NetlistEr
             let bits: Vec<bool> = known.iter().map(|b| b.expect("checked")).collect();
             let v = kind.eval_bits(&bits);
             nl.remove_gate(gid);
-            nl.add_gate(if v { GateKind::Const1 } else { GateKind::Const0 }, &[], out)?;
+            nl.add_gate(
+                if v {
+                    GateKind::Const1
+                } else {
+                    GateKind::Const0
+                },
+                &[],
+                out,
+            )?;
             value.insert(out, v);
             folded += 1;
             continue;
@@ -106,10 +116,18 @@ pub fn propagate_constants(nl: &mut Netlist) -> Result<(usize, usize), NetlistEr
 
         match kind {
             GateKind::And | GateKind::Nand => {
-                if known.iter().any(|&b| b == Some(false)) {
+                if known.contains(&Some(false)) {
                     let v = kind == GateKind::Nand;
                     nl.remove_gate(gid);
-                    nl.add_gate(if v { GateKind::Const1 } else { GateKind::Const0 }, &[], out)?;
+                    nl.add_gate(
+                        if v {
+                            GateKind::Const1
+                        } else {
+                            GateKind::Const0
+                        },
+                        &[],
+                        out,
+                    )?;
                     value.insert(out, v);
                     folded += 1;
                 } else {
@@ -117,10 +135,18 @@ pub fn propagate_constants(nl: &mut Netlist) -> Result<(usize, usize), NetlistEr
                 }
             }
             GateKind::Or | GateKind::Nor => {
-                if known.iter().any(|&b| b == Some(true)) {
+                if known.contains(&Some(true)) {
                     let v = kind == GateKind::Or;
                     nl.remove_gate(gid);
-                    nl.add_gate(if v { GateKind::Const1 } else { GateKind::Const0 }, &[], out)?;
+                    nl.add_gate(
+                        if v {
+                            GateKind::Const1
+                        } else {
+                            GateKind::Const0
+                        },
+                        &[],
+                        out,
+                    )?;
                     value.insert(out, v);
                     folded += 1;
                 } else {
@@ -220,9 +246,7 @@ fn prune_nary(
 pub fn collapse_buffers(nl: &mut Netlist) -> usize {
     let candidates: Vec<GateId> = nl
         .gates()
-        .filter(|(_, g)| {
-            g.kind() == GateKind::Buf && !nl.outputs().contains(&g.output())
-        })
+        .filter(|(_, g)| g.kind() == GateKind::Buf && !nl.outputs().contains(&g.output()))
         .map(|(id, _)| id)
         .collect();
     let mut collapsed = 0;

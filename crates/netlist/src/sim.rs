@@ -180,8 +180,14 @@ pub fn output_corruption<R: Rng>(
 ) -> Result<f64, NetlistError> {
     let mut sim = Simulator::new(nl)?;
     let n_data = nl.data_inputs().len();
-    let ka: Vec<u64> = keys_a.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
-    let kb: Vec<u64> = keys_b.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+    let ka: Vec<u64> = keys_a
+        .iter()
+        .map(|&b| if b { u64::MAX } else { 0 })
+        .collect();
+    let kb: Vec<u64> = keys_b
+        .iter()
+        .map(|&b| if b { u64::MAX } else { 0 })
+        .collect();
     let mut diff_bits = 0u64;
     let mut total_bits = 0u64;
     for _ in 0..patterns {
@@ -209,13 +215,21 @@ mod tests {
 
     /// Reference single-pattern evaluation by recursive netlist walk.
     fn reference_eval(nl: &Netlist, bits: &[bool]) -> Vec<bool> {
-        fn value(nl: &Netlist, net: NetId, assign: &std::collections::HashMap<NetId, bool>) -> bool {
+        fn value(
+            nl: &Netlist,
+            net: NetId,
+            assign: &std::collections::HashMap<NetId, bool>,
+        ) -> bool {
             if let Some(&v) = assign.get(&net) {
                 return v;
             }
             let gid = nl.net(net).driver().expect("driven");
             let gate = nl.gate(gid);
-            let ins: Vec<bool> = gate.inputs().iter().map(|&n| value(nl, n, assign)).collect();
+            let ins: Vec<bool> = gate
+                .inputs()
+                .iter()
+                .map(|&n| value(nl, n, assign))
+                .collect();
             gate.kind().eval_bits(&ins)
         }
         let assign: std::collections::HashMap<NetId, bool> = nl
@@ -224,7 +238,10 @@ mod tests {
             .copied()
             .zip(bits.iter().copied())
             .collect();
-        nl.outputs().iter().map(|&o| value(nl, o, &assign)).collect()
+        nl.outputs()
+            .iter()
+            .map(|&o| value(nl, o, &assign))
+            .collect()
     }
 
     #[test]
@@ -270,8 +287,8 @@ mod tests {
 
     #[test]
     fn corruption_of_xor_key_is_total() {
-        let nl = crate::parse_bench("xk", "INPUT(a)\nKEYINPUT(k)\nOUTPUT(y)\ny = XOR(a, k)\n")
-            .unwrap();
+        let nl =
+            crate::parse_bench("xk", "INPUT(a)\nKEYINPUT(k)\nOUTPUT(y)\ny = XOR(a, k)\n").unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let frac = output_corruption(&nl, &[false], &[true], 4, &mut rng).unwrap();
         assert!((frac - 1.0).abs() < 1e-12);

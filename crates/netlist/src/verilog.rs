@@ -65,11 +65,7 @@ fn syntax(msg: impl Into<String>) -> ParseVerilogError {
 pub fn write_verilog(nl: &Netlist) -> String {
     let mut out = String::new();
     if !nl.key_inputs().is_empty() {
-        let names: Vec<&str> = nl
-            .key_inputs()
-            .iter()
-            .map(|&k| nl.net(k).name())
-            .collect();
+        let names: Vec<&str> = nl.key_inputs().iter().map(|&k| nl.net(k).name()).collect();
         out.push_str(&format!("// KEYINPUTS: {}\n", names.join(" ")));
     }
     let ports: Vec<&str> = nl
@@ -95,9 +91,11 @@ pub fn write_verilog(nl: &Netlist) -> String {
     let io: HashSet<&str> = inputs.iter().chain(outputs.iter()).copied().collect();
     let wires: Vec<&str> = nl
         .nets()
-        .filter(|(id, net)| net.driver().is_some() && !io.contains(net.name()) && {
-            let _ = id;
-            true
+        .filter(|(id, net)| {
+            net.driver().is_some() && !io.contains(net.name()) && {
+                let _ = id;
+                true
+            }
         })
         .map(|(_, net)| net.name())
         .collect();
@@ -118,7 +116,11 @@ pub fn write_verilog(nl: &Netlist) -> String {
             | GateKind::Buf
             | GateKind::Dff => {
                 let prim = gate.kind().mnemonic().to_ascii_lowercase();
-                out.push_str(&format!("  {prim} g{} ({y}, {});\n", gid.index(), ins.join(", ")));
+                out.push_str(&format!(
+                    "  {prim} g{} ({y}, {});\n",
+                    gid.index(),
+                    ins.join(", ")
+                ));
             }
             GateKind::Mux => {
                 // inputs [s, a, b]: s ? b : a.
@@ -135,8 +137,16 @@ pub fn write_verilog(nl: &Netlist) -> String {
                 let mut terms = Vec::new();
                 for m in 0..4u8 {
                     if (tt >> m) & 1 == 1 {
-                        let la = if m & 1 == 1 { a.to_string() } else { format!("~{a}") };
-                        let lb = if m & 2 == 2 { b.to_string() } else { format!("~{b}") };
+                        let la = if m & 1 == 1 {
+                            a.to_string()
+                        } else {
+                            format!("~{a}")
+                        };
+                        let lb = if m & 2 == 2 {
+                            b.to_string()
+                        } else {
+                            format!("~{b}")
+                        };
                         terms.push(format!("({la} & {lb})"));
                     }
                 }
@@ -156,7 +166,13 @@ pub fn write_verilog(nl: &Netlist) -> String {
 fn sanitize(name: &str) -> String {
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true) {
         s.insert(0, 'm');
@@ -282,7 +298,9 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, ParseVerilogError> {
             .filter(|t| !t.is_empty())
             .collect();
         if terms.len() < 2 {
-            return Err(syntax(format!("primitive needs output and inputs: `{stmt}`")));
+            return Err(syntax(format!(
+                "primitive needs output and inputs: `{stmt}`"
+            )));
         }
         pending.push(PendingGate {
             kind,
@@ -432,7 +450,9 @@ mod tests {
         let mut s1 = Simulator::new(nl).expect("sim");
         let mut s2 = Simulator::new(&back).expect("sim");
         for pattern in [0u64, 0xDEADBEEF, u64::MAX, 0x1234_5678_9ABC_DEF0] {
-            let bits: Vec<bool> = (0..nl.inputs().len()).map(|i| (pattern >> (i % 64)) & 1 == 1).collect();
+            let bits: Vec<bool> = (0..nl.inputs().len())
+                .map(|i| (pattern >> (i % 64)) & 1 == 1)
+                .collect();
             // Align by name: back's input order equals declaration order,
             // which matches nl's.
             assert_eq!(s1.eval_bits(nl, &bits), s2.eval_bits(&back, &bits));

@@ -121,7 +121,12 @@ impl BanyanNetwork {
     /// # Panics
     ///
     /// Panics if `perm.len() != self.width()`.
-    pub fn find_keys<R: Rng>(&self, perm: &[usize], rng: &mut R, tries: usize) -> Option<Vec<bool>> {
+    pub fn find_keys<R: Rng>(
+        &self,
+        perm: &[usize],
+        rng: &mut R,
+        tries: usize,
+    ) -> Option<Vec<bool>> {
         assert_eq!(perm.len(), self.n, "permutation width mismatch");
         let k = self.num_keys();
         if k <= 20 {
@@ -286,7 +291,9 @@ mod tests {
         for _ in 0..20 {
             let keys: Vec<bool> = (0..net.num_keys()).map(|_| rng.gen()).collect();
             let perm = net.route(&keys);
-            let found = net.find_keys(&perm, &mut rng, 0).expect("own perm routable");
+            let found = net
+                .find_keys(&perm, &mut rng, 0)
+                .expect("own perm routable");
             assert_eq!(net.route(&found), perm);
         }
     }
@@ -350,11 +357,11 @@ mod tests {
             let perm = net.route(&keybits);
             // One-hot input marking: input i high, rest low → appears at
             // output perm[i].
-            for i in 0..4 {
+            for (i, &target) in perm.iter().enumerate() {
                 let data: Vec<bool> = (0..4).map(|x| x == i).collect();
                 let outbits = sim.eval_pattern(&nl, &data, &keybits);
                 for (o, &bit) in outbits.iter().enumerate() {
-                    assert_eq!(bit, o == perm[i], "input {i} key {keybits:?}");
+                    assert_eq!(bit, o == target, "input {i} key {keybits:?}");
                 }
             }
         }

@@ -46,7 +46,11 @@ fn wrap(original: &Netlist, locked: Netlist, keys: KeyStore) -> LockedCircuit {
 /// # Errors
 ///
 /// Propagates netlist errors; fails if the host has fewer nets than keys.
-pub fn xor_lock(original: &Netlist, key_bits: usize, seed: u64) -> Result<LockedCircuit, NetlistError> {
+pub fn xor_lock(
+    original: &Netlist,
+    key_bits: usize,
+    seed: u64,
+) -> Result<LockedCircuit, NetlistError> {
     let mut nl = original.clone();
     nl.set_name(format!("{}_xorlock", original.name()));
     let mut rng = StdRng::seed_from_u64(seed);
@@ -65,7 +69,11 @@ pub fn xor_lock(original: &Netlist, key_bits: usize, seed: u64) -> Result<Locked
         // Splice: consumers of `site` now read the key gate's output.
         let spliced = nl.fresh_net("xlk");
         nl.redirect_consumers(site, spliced);
-        let kind = if invert { GateKind::Xnor } else { GateKind::Xor };
+        let kind = if invert {
+            GateKind::Xnor
+        } else {
+            GateKind::Xor
+        };
         nl.add_gate(kind, &[site, key_net], spliced)?;
     }
     Ok(wrap(original, nl, keys))
@@ -82,7 +90,11 @@ pub fn xor_lock(original: &Netlist, key_bits: usize, seed: u64) -> Result<Locked
 /// # Panics
 ///
 /// Panics if the host has fewer than `n` data inputs or no outputs.
-pub fn antisat_lock(original: &Netlist, n: usize, seed: u64) -> Result<LockedCircuit, NetlistError> {
+pub fn antisat_lock(
+    original: &Netlist,
+    n: usize,
+    seed: u64,
+) -> Result<LockedCircuit, NetlistError> {
     let mut nl = original.clone();
     nl.set_name(format!("{}_antisat", original.name()));
     let mut rng = StdRng::seed_from_u64(seed);

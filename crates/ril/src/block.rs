@@ -97,7 +97,11 @@ impl RilBlockSpec {
             0
         };
         let lut_keys = 4 * self.luts();
-        let se = if self.scan_obfuscation { self.luts() } else { 0 };
+        let se = if self.scan_obfuscation {
+            self.luts()
+        } else {
+            0
+        };
         input_net + output_net + lut_keys + se
     }
 }
@@ -229,8 +233,7 @@ impl BlockMeta {
             return Vec::new();
         }
         let n = self.banyan().num_keys();
-        let start =
-            self.first_key + n + self.spec.luts() * self.lut_group_width();
+        let start = self.first_key + n + self.spec.luts() * self.lut_group_width();
         (start..start + n).collect()
     }
 
@@ -511,8 +514,9 @@ mod tests {
         let kw = keys.as_words();
         for trial in 0..20 {
             let mut trng = StdRng::seed_from_u64(seed * 1000 + trial);
-            let data_orig: Vec<u64> =
-                (0..original.data_inputs().len()).map(|_| trng.gen()).collect();
+            let data_orig: Vec<u64> = (0..original.data_inputs().len())
+                .map(|_| trng.gen())
+                .collect();
             let mut data_lock = data_orig.clone();
             if se.is_some() {
                 data_lock.push(0); // SE pin low in functional mode
@@ -527,8 +531,9 @@ mod tests {
         for trial in 0..10 {
             let mut trng = StdRng::seed_from_u64(seed * 77 + trial);
             let wrong: Vec<u64> = (0..keys.len()).map(|_| trng.gen()).collect();
-            let data_orig: Vec<u64> =
-                (0..original.data_inputs().len()).map(|_| trng.gen()).collect();
+            let data_orig: Vec<u64> = (0..original.data_inputs().len())
+                .map(|_| trng.gen())
+                .collect();
             let mut data_lock = data_orig.clone();
             if se.is_some() {
                 data_lock.push(0);
@@ -585,8 +590,16 @@ mod tests {
                 .take(spec.luts())
                 .collect();
             let mut keys = KeyStore::new();
-            insert_block(&mut locked, &mut keys, 0, &spec, &candidates, Some(se), &mut rng)
-                .unwrap();
+            insert_block(
+                &mut locked,
+                &mut keys,
+                0,
+                &spec,
+                &candidates,
+                Some(se),
+                &mut rng,
+            )
+            .unwrap();
             let any_se_key_set = keys
                 .kinds()
                 .iter()
@@ -599,8 +612,9 @@ mod tests {
             let mut sim_lock = Simulator::new(&locked).unwrap();
             let kw = keys.as_words();
             let mut trng = StdRng::seed_from_u64(seed + 999);
-            let data_orig: Vec<u64> =
-                (0..original.data_inputs().len()).map(|_| trng.gen()).collect();
+            let data_orig: Vec<u64> = (0..original.data_inputs().len())
+                .map(|_| trng.gen())
+                .collect();
             let mut data_se = data_orig.clone();
             data_se.push(u64::MAX); // SE asserted
             let o1 = sim_orig.eval_words(&original, &data_orig, &[]);

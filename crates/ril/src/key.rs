@@ -147,7 +147,10 @@ impl KeyStore {
     /// Serializes the key as a `0`/`1` string (netlist key-input order) —
     /// the on-disk format of the `rilock` CLI.
     pub fn to_bit_string(&self) -> String {
-        self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+        self.bits
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect()
     }
 
     /// Parses a `0`/`1` string (whitespace ignored) into a key-bit vector.
@@ -174,11 +177,7 @@ impl KeyStore {
     /// Panics if widths differ.
     pub fn hamming_to(&self, other: &[bool]) -> usize {
         assert_eq!(other.len(), self.bits.len(), "key width mismatch");
-        self.bits
-            .iter()
-            .zip(other)
-            .filter(|(a, b)| a != b)
-            .count()
+        self.bits.iter().zip(other).filter(|(a, b)| a != b).count()
     }
 }
 
@@ -261,10 +260,7 @@ mod tests {
         let s = ks.to_bit_string();
         assert_eq!(s, "10011");
         assert_eq!(KeyStore::parse_bit_string(&s).unwrap(), ks.bits());
-        assert_eq!(
-            KeyStore::parse_bit_string("1 0\n0 11").unwrap(),
-            ks.bits()
-        );
+        assert_eq!(KeyStore::parse_bit_string("1 0\n0 11").unwrap(), ks.bits());
         assert_eq!(KeyStore::parse_bit_string("10x1"), Err('x'));
     }
 

@@ -136,7 +136,10 @@ pub fn materialize_meso(
 
 /// The MESO selector value whose function equals truth table `tt`, if any.
 pub fn meso_selector_for(tt: u8) -> Option<u8> {
-    MESO_FUNCTIONS.iter().position(|&f| f == tt & 0xf).map(|p| p as u8)
+    MESO_FUNCTIONS
+        .iter()
+        .position(|&f| f == tt & 0xf)
+        .map(|p| p as u8)
 }
 
 #[cfg(test)]

@@ -87,11 +87,13 @@ pub fn ril_overhead(spec: &RilBlockSpec, blocks: usize) -> OverheadEstimate {
     let banyan_boxes = (spec.width / 2) * spec.width.trailing_zeros() as usize;
     let networks = if spec.double_routing { 2 } else { 1 };
     let luts = spec.luts();
-    let mux_per_block = networks * banyan_boxes * 2 + luts * 3 + if spec.scan_obfuscation {
-        luts // the SE output stage is one 2:1 MUX per LUT
-    } else {
-        0
-    };
+    let mux_per_block = networks * banyan_boxes * 2
+        + luts * 3
+        + if spec.scan_obfuscation {
+            luts // the SE output stage is one 2:1 MUX per LUT
+        } else {
+            0
+        };
     // Paper: 32 MOS + 4 MTJ per LUT memory column (2 MTJs per cell ×
     // (4 + SE) cells); each MUX ≈ 6 T (transmission gate + driver).
     let cells_per_lut = 4 + usize::from(spec.scan_obfuscation);
@@ -198,7 +200,7 @@ mod tests {
             .obfuscate(&host)
             .unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let c = keyed_corruption(&locked, &locked.keys.bits().to_vec(), 8, &mut rng).unwrap();
+        let c = keyed_corruption(&locked, locked.keys.bits(), 8, &mut rng).unwrap();
         assert_eq!(c, 0.0);
     }
 
@@ -227,7 +229,10 @@ mod tests {
         // LUT config bits are individually observable (flipping one changes
         // a truth-table entry); at least most bits must corrupt something.
         let active = obs.iter().filter(|&&o| o > 0.0).count();
-        assert!(active >= locked.key_width() / 2, "only {active} active bits");
+        assert!(
+            active >= locked.key_width() / 2,
+            "only {active} active bits"
+        );
         // And observability is a probability.
         assert!(obs.iter().all(|&o| (0.0..=1.0).contains(&o)));
     }

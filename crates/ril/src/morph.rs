@@ -15,8 +15,8 @@
 //! 3. **SE re-roll** — re-randomize the Scan-Enable keys (they only shape
 //!    scan-mode responses, never functional outputs).
 
-use crate::block::BlockMeta;
 use crate::banyan::BanyanNetwork;
+use crate::block::BlockMeta;
 use crate::key::KeyStore;
 use crate::lut::{complement_lut, swap_lut_inputs};
 use crate::obfuscate::LockedCircuit;
@@ -80,8 +80,7 @@ pub fn morph_block<R: Rng>(locked: &mut LockedCircuit, block: usize, rng: &mut R
     // 1. Random pair swaps through the last input-banyan stage.
     for lut in 0..meta.spec.luts() {
         if rng.gen() {
-            let key_idx = meta.first_key
-                + banyan.last_stage_key_for_pair(lut);
+            let key_idx = meta.first_key + banyan.last_stage_key_for_pair(lut);
             let old = locked.keys.bits()[key_idx];
             locked.keys.set_bit(key_idx, !old);
             let tt = read_tt(&locked.keys, &meta, lut);
@@ -146,8 +145,7 @@ pub fn morph_block<R: Rng>(locked: &mut LockedCircuit, block: usize, rng: &mut R
             for (j, (&new_c, &old_c)) in comp.iter().zip(&old_comp).enumerate() {
                 if new_c != old_c {
                     let tt = read_tt(&locked.keys, &meta, j);
-                    report.bits_changed +=
-                        write_tt(&mut locked.keys, &meta, j, complement_lut(tt));
+                    report.bits_changed += write_tt(&mut locked.keys, &meta, j, complement_lut(tt));
                     report.complemented += 1;
                 }
             }

@@ -91,8 +91,15 @@ impl Obfuscator {
         let mut block_meta = Vec::with_capacity(self.blocks);
         for b in 0..self.blocks {
             let gates = select_gates(&locked, self.spec.luts(), self.policy, &mut rng)?;
-            let meta =
-                insert_block(&mut locked, &mut keys, b, &self.spec, &gates, se_net, &mut rng)?;
+            let meta = insert_block(
+                &mut locked,
+                &mut keys,
+                b,
+                &self.spec,
+                &gates,
+                se_net,
+                &mut rng,
+            )?;
             block_meta.push(meta);
         }
         debug_assert!(locked.validate().is_ok());
@@ -193,28 +200,66 @@ impl LockedCircuit {
         key: &[bool],
         timeout: Option<std::time::Duration>,
     ) -> Result<ril_sat::EquivResult, ril_sat::EquivError> {
-        assert_eq!(key.len(), self.keys.len(), "key width mismatch");
-        let mut fixed: Vec<(String, bool)> = self
+        let mut verifier = self.formal_verifier(timeout)?;
+        verifier.check_with(&self.key_assignment(key))
+    }
+
+    /// Builds a reusable formal verifier for this circuit pair: the miter
+    /// `original` vs `locked` encoded once into an [`ril_sat::EquivSession`]
+    /// with `SE` pinned to functional mode and the key inputs left free, so
+    /// each candidate key is just an assumption set for
+    /// [`ril_sat::EquivSession::check_with`]. Checking many keys (key
+    /// sweeps, attack evaluation) against one warm verifier avoids paying
+    /// miter encoding and solver construction per key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates equivalence-checking errors (port mismatches cannot
+    /// occur for circuits produced by [`Obfuscator`]).
+    pub fn formal_verifier(
+        &self,
+        timeout: Option<std::time::Duration>,
+    ) -> Result<ril_sat::EquivSession, ril_sat::EquivError> {
+        let mut ignore: Vec<String> = self
             .netlist
+            .key_inputs()
+            .iter()
+            .map(|&n| self.netlist.net(n).name().to_string())
+            .collect();
+        let mut fixed = Vec::new();
+        if self.netlist.net_id(SE_PIN).is_some() {
+            fixed.push((SE_PIN.to_string(), false));
+        }
+        ignore.extend(fixed.iter().map(|(n, _)| n.clone()));
+        let options = ril_sat::EquivOptions {
+            timeout,
+            ignore_inputs: ignore,
+            fixed_inputs: fixed,
+        };
+        ril_sat::EquivSession::new(&self.original, &self.netlist, &options)
+    }
+
+    /// The `(key input name, value)` pin list for a candidate key, in the
+    /// shape [`ril_sat::EquivSession::check_with`] expects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` differs from the key width.
+    pub fn key_assignment(&self, key: &[bool]) -> Vec<(String, bool)> {
+        assert_eq!(key.len(), self.keys.len(), "key width mismatch");
+        self.netlist
             .key_inputs()
             .iter()
             .zip(key)
             .map(|(&n, &v)| (self.netlist.net(n).name().to_string(), v))
-            .collect();
-        if self.netlist.net_id(SE_PIN).is_some() {
-            fixed.push((SE_PIN.to_string(), false));
-        }
-        let options = ril_sat::EquivOptions {
-            timeout,
-            ignore_inputs: Vec::new(),
-            fixed_inputs: fixed,
-        };
-        ril_sat::check_equivalence(&self.original, &self.netlist, &options)
+            .collect()
     }
 
     /// Gate-count overhead of the locking (locked − original).
     pub fn gate_overhead(&self) -> usize {
-        self.netlist.gate_count().saturating_sub(self.original.gate_count())
+        self.netlist
+            .gate_count()
+            .saturating_sub(self.original.gate_count())
     }
 
     /// Key width.
@@ -287,14 +332,23 @@ mod tests {
     #[test]
     fn determinism_by_seed() {
         let host = generators::adder(8);
-        let a = Obfuscator::new(RilBlockSpec::size_2x2()).seed(5).obfuscate(&host).unwrap();
-        let b = Obfuscator::new(RilBlockSpec::size_2x2()).seed(5).obfuscate(&host).unwrap();
+        let a = Obfuscator::new(RilBlockSpec::size_2x2())
+            .seed(5)
+            .obfuscate(&host)
+            .unwrap();
+        let b = Obfuscator::new(RilBlockSpec::size_2x2())
+            .seed(5)
+            .obfuscate(&host)
+            .unwrap();
         assert_eq!(
             ril_netlist::write_bench(&a.netlist),
             ril_netlist::write_bench(&b.netlist)
         );
         assert_eq!(a.keys, b.keys);
-        let c = Obfuscator::new(RilBlockSpec::size_2x2()).seed(6).obfuscate(&host).unwrap();
+        let c = Obfuscator::new(RilBlockSpec::size_2x2())
+            .seed(6)
+            .obfuscate(&host)
+            .unwrap();
         assert_ne!(
             ril_netlist::write_bench(&a.netlist),
             ril_netlist::write_bench(&c.netlist)
@@ -316,8 +370,9 @@ mod tests {
         assert_eq!(ok, ril_sat::EquivResult::Equivalent);
         // Flip one LUT config bit: a concrete counterexample must exist.
         let mut wrong = locked.keys.bits().to_vec();
-        let lut_bits =
-            locked.keys.indices_where(|k| matches!(k, crate::key::KeyBitKind::LutConfig { .. }));
+        let lut_bits = locked
+            .keys
+            .indices_where(|k| matches!(k, crate::key::KeyBitKind::LutConfig { .. }));
         wrong[lut_bits[0]] = !wrong[lut_bits[0]];
         match locked
             .verify_formal(&wrong, Some(std::time::Duration::from_secs(30)))
@@ -328,6 +383,38 @@ mod tests {
             }
             other => panic!("wrong key verified: {other:?}"),
         }
+    }
+
+    #[test]
+    fn formal_verifier_checks_many_keys_on_one_miter() {
+        let host = generators::adder(8);
+        let locked = Obfuscator::new(RilBlockSpec::size_2x2())
+            .blocks(2)
+            .seed(8)
+            .obfuscate(&host)
+            .unwrap();
+        let mut verifier = locked
+            .formal_verifier(Some(std::time::Duration::from_secs(30)))
+            .unwrap();
+        assert_eq!(
+            verifier
+                .check_with(&locked.key_assignment(locked.keys.bits()))
+                .unwrap(),
+            ril_sat::EquivResult::Equivalent
+        );
+        let lut_bits = locked
+            .keys
+            .indices_where(|k| matches!(k, crate::key::KeyBitKind::LutConfig { .. }));
+        for &flip in lut_bits.iter().take(3) {
+            let mut wrong = locked.keys.bits().to_vec();
+            wrong[flip] = !wrong[flip];
+            assert!(matches!(
+                verifier.check_with(&locked.key_assignment(&wrong)).unwrap(),
+                ril_sat::EquivResult::Inequivalent { .. }
+            ));
+        }
+        // One miter encoding answered every query.
+        assert_eq!(verifier.checks(), 4);
     }
 
     #[test]

@@ -109,7 +109,11 @@ pub fn one_hot_selection(
     outputs: &[Lit],
     permutation: bool,
 ) -> Vec<Vec<Var>> {
-    assert_eq!(inputs.len(), outputs.len(), "routing element must be square");
+    assert_eq!(
+        inputs.len(),
+        outputs.len(),
+        "routing element must be square"
+    );
     let n = inputs.len();
     let sel: Vec<Vec<Var>> = (0..n).map(|_| cnf.new_vars(n)).collect();
     for (o, &out) in outputs.iter().enumerate() {
@@ -129,10 +133,10 @@ pub fn one_hot_selection(
         }
     }
     if permutation {
-        for i in 0..n {
-            for o1 in 0..n {
-                for o2 in o1 + 1..n {
-                    cnf.add_clause([sel[o1][i].negative(), sel[o2][i].negative()]);
+        for o1 in 0..n {
+            for o2 in o1 + 1..n {
+                for (&a, &b) in sel[o1].iter().zip(&sel[o2]) {
+                    cnf.add_clause([a.negative(), b.negative()]);
                 }
             }
         }
@@ -201,9 +205,7 @@ mod tests {
         // Force input pattern 1,0,1 and demand outputs 0,1,1 — the
         // permutation (0→1, 1→0, 2→2) realizes it, so SAT.
         let mut s = Solver::from_cnf(&cnf);
-        let assumptions = vec![
-            ins[0], !ins[1], ins[2], !outs[0], outs[1], outs[2],
-        ];
+        let assumptions = vec![ins[0], !ins[1], ins[2], !outs[0], outs[1], outs[2]];
         assert_eq!(s.solve_with_assumptions(&assumptions), Outcome::Sat);
         // The chosen selectors form a permutation matrix.
         let model = s.model().to_vec();

@@ -43,6 +43,19 @@ impl Cnf {
         (0..n).map(|_| self.new_var()).collect()
     }
 
+    /// Ensures at least `n` variables exist, so fresh variables continue an
+    /// external pool (e.g. a [`crate::Session`]'s) and clauses transfer
+    /// verbatim.
+    pub fn reserve_vars(&mut self, n: usize) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// Drops all clauses while keeping the variable pool, turning the
+    /// formula into a reusable scratch buffer for incremental encoding.
+    pub fn clear_clauses(&mut self) {
+        self.clauses.clear();
+    }
+
     /// Number of allocated variables.
     pub fn num_vars(&self) -> usize {
         self.num_vars
@@ -152,7 +165,7 @@ impl Cnf {
                     msg: format!("bad literal `{tok}`"),
                 })?;
                 if v == 0 {
-                    cnf.add_clause(current.drain(..).collect::<Vec<_>>());
+                    cnf.add_clause(std::mem::take(&mut current));
                 } else {
                     current.push(Lit::from_dimacs(v));
                 }

@@ -8,7 +8,8 @@
 
 use crate::cnf::Cnf;
 use crate::lit::{Lit, Var};
-use crate::solver::{Outcome, Solver, SolverConfig};
+use crate::session::Session;
+use crate::solver::{Outcome, SolverConfig, SolverStats};
 use crate::tseitin::{encode_netlist_into, TseitinError};
 use ril_netlist::{NetId, Netlist};
 use std::collections::HashMap;
@@ -71,12 +72,268 @@ pub struct EquivOptions {
     pub fixed_inputs: Vec<(String, bool)>,
 }
 
+/// A miter encoded once into a persistent [`Session`], for *repeated*
+/// equivalence checks of the same circuit pair under varying fixed inputs
+/// — key verification after an attack, morph validation, `SE`-mode checks.
+///
+/// The expensive part of an equivalence query on circuits produced by the
+/// locking flow is re-encoding the miter and re-constructing the solver;
+/// an `EquivSession` pays that once, then answers each query with a
+/// [`Session::solve_under`] call against the warm solver (learned clauses
+/// from earlier keys carry over — they are implied by the miter formula
+/// alone, so they remain sound for every later query).
+///
+/// # Examples
+///
+/// ```
+/// use ril_netlist::generators;
+/// use ril_sat::{EquivOptions, EquivResult, EquivSession};
+///
+/// let nl = generators::adder(4);
+/// let mut sess = EquivSession::new(&nl, &nl.clone(), &EquivOptions::default()).unwrap();
+/// for _ in 0..3 {
+///     assert_eq!(sess.check(), EquivResult::Equivalent);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct EquivSession {
+    session: Session,
+    /// Activation literal guarding the miter's difference clause, so that
+    /// an equivalent pair yields UNSAT-under-assumptions rather than a
+    /// root-level contradiction that would poison the session.
+    act: Lit,
+    shared_vars: Vec<Var>,
+    input_vars: HashMap<String, Var>,
+    base_assumptions: Vec<Lit>,
+}
+
+impl EquivSession {
+    /// Encodes the miter of `left` vs `right` (ports matched by name) into
+    /// a fresh session. `options.fixed_inputs` become *base* assumptions
+    /// applied to every check; `options.timeout` bounds each solve call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EquivError::PortMismatch`] on name mismatches and
+    /// [`EquivError::Encode`] for sequential netlists.
+    pub fn new(
+        left: &Netlist,
+        right: &Netlist,
+        options: &EquivOptions,
+    ) -> Result<EquivSession, EquivError> {
+        let mut session = Session::with_config(SolverConfig {
+            timeout: options.timeout,
+            ..SolverConfig::default()
+        });
+        EquivSession::encode_into(&mut session, left, right, options)
+    }
+
+    /// Like [`EquivSession::new`], but encodes into a caller-provided
+    /// session (whose solver config, learned clauses and variable pool are
+    /// reused). The difference clause is guarded by a fresh activation
+    /// literal, so several miters can live in one session without
+    /// interfering at the root level.
+    ///
+    /// On success the passed-in session is **moved into** the returned
+    /// `EquivSession` (the caller's binding is left empty); reclaim it with
+    /// [`EquivSession::into_session`]. On error the session is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EquivError::PortMismatch`] on name mismatches and
+    /// [`EquivError::Encode`] for sequential netlists.
+    pub fn encode_into(
+        session: &mut Session,
+        left: &Netlist,
+        right: &Netlist,
+        options: &EquivOptions,
+    ) -> Result<EquivSession, EquivError> {
+        // --- Match outputs by name ---------------------------------------
+        let mut right_outputs: HashMap<&str, NetId> = right
+            .outputs()
+            .iter()
+            .map(|&o| (right.net(o).name(), o))
+            .collect();
+        let mut out_pairs: Vec<(NetId, NetId)> = Vec::new();
+        for &o in left.outputs() {
+            let name = left.net(o).name();
+            match right_outputs.remove(name) {
+                Some(ro) => out_pairs.push((o, ro)),
+                None => {
+                    return Err(EquivError::PortMismatch(format!(
+                        "output `{name}` missing on the right"
+                    )))
+                }
+            }
+        }
+        if let Some((name, _)) = right_outputs.into_iter().next() {
+            return Err(EquivError::PortMismatch(format!(
+                "output `{name}` missing on the left"
+            )));
+        }
+
+        // --- Match inputs by name ----------------------------------------
+        let fixed: HashMap<&str, bool> = options
+            .fixed_inputs
+            .iter()
+            .map(|(n, v)| (n.as_str(), *v))
+            .collect();
+        let ignored: Vec<&str> = options.ignore_inputs.iter().map(String::as_str).collect();
+        // Encode into a scratch CNF whose variable pool continues the
+        // session's (so clauses transfer verbatim).
+        let mut cnf = Cnf::new();
+        cnf.reserve_vars(session.num_vars());
+        let mut shared_vars: Vec<Var> = Vec::new();
+        let mut input_vars: HashMap<String, Var> = HashMap::new();
+        let mut pins_left: HashMap<NetId, Var> = HashMap::new();
+        let mut pins_right: HashMap<NetId, Var> = HashMap::new();
+        let right_inputs: HashMap<&str, NetId> = right
+            .inputs()
+            .iter()
+            .map(|&i| (right.net(i).name(), i))
+            .collect();
+
+        let mut base_assumptions: Vec<Lit> = Vec::new();
+        for &li in left.inputs() {
+            let name = left.net(li).name().to_string();
+            let var = cnf.new_var();
+            pins_left.insert(li, var);
+            if let Some(&ri) = right_inputs.get(name.as_str()) {
+                pins_right.insert(ri, var);
+                shared_vars.push(var);
+            } else if !ignored.contains(&name.as_str()) && !fixed.contains_key(name.as_str()) {
+                return Err(EquivError::PortMismatch(format!(
+                    "input `{name}` missing on the right (ignore or fix it)"
+                )));
+            }
+            if let Some(&v) = fixed.get(name.as_str()) {
+                base_assumptions.push(var.lit(!v));
+            }
+            input_vars.insert(name, var);
+        }
+        for &ri in right.inputs() {
+            let name = right.net(ri).name();
+            if pins_right.contains_key(&ri) {
+                continue;
+            }
+            let var = cnf.new_var();
+            pins_right.insert(ri, var);
+            if let Some(&v) = fixed.get(name) {
+                base_assumptions.push(var.lit(!v));
+            } else if !ignored.contains(&name) {
+                return Err(EquivError::PortMismatch(format!(
+                    "input `{name}` missing on the left (ignore or fix it)"
+                )));
+            }
+            input_vars.insert(name.to_string(), var);
+        }
+
+        // --- Miter -------------------------------------------------------
+        let vars_l = encode_netlist_into(left, &mut cnf, &pins_left)?;
+        let vars_r = encode_netlist_into(right, &mut cnf, &pins_right)?;
+        let act = cnf.new_var().positive();
+        let mut diff = Vec::with_capacity(out_pairs.len() + 1);
+        for (lo, ro) in out_pairs {
+            let x = cnf.new_var().positive();
+            let a = vars_l.lit(lo);
+            let b = vars_r.lit(ro);
+            cnf.add_clause([!x, a, b]);
+            cnf.add_clause([!x, !a, !b]);
+            cnf.add_clause([x, !a, b]);
+            cnf.add_clause([x, a, !b]);
+            diff.push(x);
+        }
+        // Guarded difference clause: active only while `act` is assumed.
+        diff.push(!act);
+        cnf.add_clause(diff);
+
+        // All fallible work is done; take ownership of the session now so
+        // an earlier error leaves the caller's session untouched.
+        let mut owned = std::mem::take(session);
+        owned.append_cnf(&cnf);
+        Ok(EquivSession {
+            session: owned,
+            act,
+            shared_vars,
+            input_vars,
+            base_assumptions,
+        })
+    }
+
+    /// Consumes the miter and returns the underlying (grown, warm) session
+    /// for further reuse.
+    pub fn into_session(self) -> Session {
+        self.session
+    }
+
+    /// One equivalence query under the base fixed inputs.
+    pub fn check(&mut self) -> EquivResult {
+        self.check_with(&[]).expect("no overrides: names known")
+    }
+
+    /// One equivalence query with additional per-call pinned inputs (by
+    /// name), layered over — and overriding — the base fixed inputs. This
+    /// is the repeated-key-verification fast path: the miter is warm, only
+    /// the assumptions change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EquivError::PortMismatch`] if a name matches no input.
+    pub fn check_with(&mut self, fixed: &[(String, bool)]) -> Result<EquivResult, EquivError> {
+        let mut assumptions = vec![self.act];
+        for l in &self.base_assumptions {
+            // Keep base assumptions not overridden this call.
+            let keep = !fixed
+                .iter()
+                .any(|(n, _)| self.input_vars.get(n) == Some(&l.var()));
+            if keep {
+                assumptions.push(*l);
+            }
+        }
+        for (name, value) in fixed {
+            let var = self.input_vars.get(name).ok_or_else(|| {
+                EquivError::PortMismatch(format!("input `{name}` not present in the miter"))
+            })?;
+            assumptions.push(var.lit(!*value));
+        }
+        Ok(match self.session.solve_under(&assumptions) {
+            Outcome::Unsat => EquivResult::Equivalent,
+            Outcome::Unknown => EquivResult::Unknown,
+            Outcome::Sat => {
+                let model = self.session.model();
+                EquivResult::Inequivalent {
+                    counterexample: self.shared_vars.iter().map(|v| model[v.index()]).collect(),
+                }
+            }
+        })
+    }
+
+    /// Updates the per-call wall-clock budget.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.session.set_timeout(timeout);
+    }
+
+    /// Cumulative solver statistics across all checks.
+    pub fn stats(&self) -> SolverStats {
+        self.session.stats()
+    }
+
+    /// Number of checks answered so far.
+    pub fn checks(&self) -> usize {
+        self.session.solve_count()
+    }
+}
+
 /// Checks combinational equivalence of `left` and `right`, matching inputs
 /// and outputs by name.
 ///
 /// Inputs present in only one circuit must be listed in
 /// [`EquivOptions::ignore_inputs`] or pinned in
 /// [`EquivOptions::fixed_inputs`]; outputs must match exactly by name.
+/// One-shot convenience over [`EquivSession`]; callers issuing repeated
+/// checks of the same pair should hold an `EquivSession` (or pass a shared
+/// [`Session`] to [`check_equivalence_in`]) instead of paying miter
+/// encoding and solver construction per call.
 ///
 /// # Errors
 ///
@@ -87,115 +344,31 @@ pub fn check_equivalence(
     right: &Netlist,
     options: &EquivOptions,
 ) -> Result<EquivResult, EquivError> {
-    // --- Match outputs by name -------------------------------------------
-    let mut right_outputs: HashMap<&str, NetId> = right
-        .outputs()
-        .iter()
-        .map(|&o| (right.net(o).name(), o))
-        .collect();
-    let mut out_pairs: Vec<(NetId, NetId)> = Vec::new();
-    for &o in left.outputs() {
-        let name = left.net(o).name();
-        match right_outputs.remove(name) {
-            Some(ro) => out_pairs.push((o, ro)),
-            None => {
-                return Err(EquivError::PortMismatch(format!(
-                    "output `{name}` missing on the right"
-                )))
-            }
-        }
-    }
-    if let Some((name, _)) = right_outputs.into_iter().next() {
-        return Err(EquivError::PortMismatch(format!(
-            "output `{name}` missing on the left"
-        )));
-    }
+    Ok(EquivSession::new(left, right, options)?.check())
+}
 
-    // --- Match inputs by name --------------------------------------------
-    let fixed: HashMap<&str, bool> = options
-        .fixed_inputs
-        .iter()
-        .map(|(n, v)| (n.as_str(), *v))
-        .collect();
-    let ignored: Vec<&str> = options.ignore_inputs.iter().map(String::as_str).collect();
-    let mut cnf = Cnf::new();
-    let mut shared_names: Vec<String> = Vec::new();
-    let mut shared_vars: Vec<Var> = Vec::new();
-    let mut pins_left: HashMap<NetId, Var> = HashMap::new();
-    let mut pins_right: HashMap<NetId, Var> = HashMap::new();
-    let right_inputs: HashMap<&str, NetId> = right
-        .inputs()
-        .iter()
-        .map(|&i| (right.net(i).name(), i))
-        .collect();
-
-    let mut assumptions: Vec<Lit> = Vec::new();
-    for &li in left.inputs() {
-        let name = left.net(li).name().to_string();
-        let var = cnf.new_var();
-        pins_left.insert(li, var);
-        if let Some(&ri) = right_inputs.get(name.as_str()) {
-            pins_right.insert(ri, var);
-            shared_names.push(name.clone());
-            shared_vars.push(var);
-        } else if !ignored.contains(&name.as_str()) && !fixed.contains_key(name.as_str()) {
-            return Err(EquivError::PortMismatch(format!(
-                "input `{name}` missing on the right (ignore or fix it)"
-            )));
-        }
-        if let Some(&v) = fixed.get(name.as_str()) {
-            assumptions.push(var.lit(!v));
-        }
-    }
-    for &ri in right.inputs() {
-        let name = right.net(ri).name();
-        if pins_right.contains_key(&ri) {
-            continue;
-        }
-        let var = cnf.new_var();
-        pins_right.insert(ri, var);
-        if let Some(&v) = fixed.get(name) {
-            assumptions.push(var.lit(!v));
-        } else if !ignored.contains(&name) {
-            return Err(EquivError::PortMismatch(format!(
-                "input `{name}` missing on the left (ignore or fix it)"
-            )));
-        }
-    }
-
-    // --- Miter --------------------------------------------------------------
-    let vars_l = encode_netlist_into(left, &mut cnf, &pins_left)?;
-    let vars_r = encode_netlist_into(right, &mut cnf, &pins_right)?;
-    let mut diff = Vec::with_capacity(out_pairs.len());
-    for (lo, ro) in out_pairs {
-        let x = cnf.new_var().positive();
-        let a = vars_l.lit(lo);
-        let b = vars_r.lit(ro);
-        cnf.add_clause([!x, a, b]);
-        cnf.add_clause([!x, !a, !b]);
-        cnf.add_clause([x, !a, b]);
-        cnf.add_clause([x, a, !b]);
-        diff.push(x);
-    }
-    cnf.add_clause(diff);
-
-    let mut solver = Solver::from_cnf_with_config(
-        &cnf,
-        SolverConfig {
-            timeout: options.timeout,
-            ..SolverConfig::default()
-        },
-    );
-    Ok(match solver.solve_with_assumptions(&assumptions) {
-        Outcome::Unsat => EquivResult::Equivalent,
-        Outcome::Unknown => EquivResult::Unknown,
-        Outcome::Sat => {
-            let model = solver.model();
-            EquivResult::Inequivalent {
-                counterexample: shared_vars.iter().map(|v| model[v.index()]).collect(),
-            }
-        }
-    })
+/// Like [`check_equivalence`], but encodes into an existing [`Session`],
+/// reusing its solver state (allocations, learned clauses, activity
+/// ordering). Each miter's difference clause is guarded by a fresh
+/// activation literal assumed only for its own query, so sequential checks
+/// of *different* circuit pairs can share one session soundly.
+///
+/// # Errors
+///
+/// Returns [`EquivError::PortMismatch`] on name mismatches and
+/// [`EquivError::Encode`] for sequential netlists.
+pub fn check_equivalence_in(
+    session: &mut Session,
+    left: &Netlist,
+    right: &Netlist,
+    options: &EquivOptions,
+) -> Result<EquivResult, EquivError> {
+    session.set_timeout(options.timeout);
+    let mut equiv = EquivSession::encode_into(session, left, right, options)?;
+    let result = equiv.check();
+    // Give the (grown) session back to the caller.
+    *session = equiv.into_session();
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -297,6 +470,72 @@ mod tests {
             check_equivalence(&l, &r, &opts).unwrap(),
             EquivResult::Inequivalent { .. }
         ));
+    }
+
+    #[test]
+    fn equiv_session_answers_repeated_queries() {
+        // right = left XOR se: the verdict flips with the pinned value of
+        // `se`, all on one warm miter.
+        let l = and_circuit("l", GateKind::And);
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(se)\nOUTPUT(y)\nt = AND(a, b)\ny = XOR(t, se)\n";
+        let r = parse_bench("r", text).unwrap();
+        let opts = EquivOptions {
+            fixed_inputs: vec![("se".into(), false)],
+            ..EquivOptions::default()
+        };
+        let mut sess = EquivSession::new(&l, &r, &opts).unwrap();
+        assert_eq!(sess.check(), EquivResult::Equivalent);
+        // Per-call override flips the verdict without re-encoding.
+        assert!(matches!(
+            sess.check_with(&[("se".into(), true)]).unwrap(),
+            EquivResult::Inequivalent { .. }
+        ));
+        // Base assumptions are restored on the next plain check.
+        assert_eq!(sess.check(), EquivResult::Equivalent);
+        assert_eq!(sess.checks(), 3);
+        let err = sess.check_with(&[("nope".into(), true)]).unwrap_err();
+        assert!(matches!(err, EquivError::PortMismatch(_)));
+    }
+
+    #[test]
+    fn shared_session_survives_multiple_miters() {
+        // Independent miters (one UNSAT, one SAT) in a single session: the
+        // activation guards keep the UNSAT one from poisoning the rest.
+        let mut session = Session::new();
+        let l = and_circuit("l", GateKind::And);
+        let r = and_circuit("r", GateKind::And);
+        assert_eq!(
+            check_equivalence_in(&mut session, &l, &r, &EquivOptions::default()).unwrap(),
+            EquivResult::Equivalent
+        );
+        let vars_after_first = session.num_vars();
+        let r2 = and_circuit("r2", GateKind::Or);
+        assert!(matches!(
+            check_equivalence_in(&mut session, &l, &r2, &EquivOptions::default()).unwrap(),
+            EquivResult::Inequivalent { .. }
+        ));
+        // The session really was reused: the second miter extended the
+        // first's variable pool instead of starting over.
+        assert!(session.num_vars() > vars_after_first);
+        assert_eq!(
+            check_equivalence_in(&mut session, &l, &r, &EquivOptions::default()).unwrap(),
+            EquivResult::Equivalent
+        );
+        assert!(session.root_consistent());
+        assert_eq!(session.solve_count(), 3);
+    }
+
+    #[test]
+    fn encode_errors_leave_caller_session_untouched() {
+        let mut session = Session::new();
+        session.add_clause([Lit::new(0, false)]);
+        let l = and_circuit("l", GateKind::And);
+        let mut r = and_circuit("r", GateKind::And);
+        r.add_input("extra").unwrap();
+        let err = check_equivalence_in(&mut session, &l, &r, &EquivOptions::default());
+        assert!(matches!(err, Err(EquivError::PortMismatch(_))));
+        assert_eq!(session.num_vars(), 1);
+        assert_eq!(session.solve(), Outcome::Sat);
     }
 
     #[test]

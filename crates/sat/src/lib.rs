@@ -27,14 +27,18 @@
 #![warn(missing_docs)]
 
 pub mod bva;
-pub mod equiv;
 pub mod cnf;
+pub mod equiv;
 pub mod lit;
+pub mod session;
 pub mod solver;
 pub mod tseitin;
 
 pub use cnf::{Cnf, ParseDimacsError};
-pub use equiv::{check_equivalence, EquivError, EquivOptions, EquivResult};
+pub use equiv::{
+    check_equivalence, check_equivalence_in, EquivError, EquivOptions, EquivResult, EquivSession,
+};
 pub use lit::{LBool, Lit, Var};
+pub use session::{Session, SolveRecord};
 pub use solver::{Outcome, Solver, SolverConfig, SolverStats};
 pub use tseitin::{encode_netlist, encode_netlist_into, CircuitVars, TseitinError};

@@ -80,6 +80,9 @@ impl SolverConfig {
 }
 
 /// Search statistics.
+///
+/// Statistics are cumulative over a solver's lifetime; use
+/// [`SolverStats::since`] to express one solve call as a delta.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolverStats {
     /// Decision count.
@@ -95,6 +98,34 @@ pub struct SolverStats {
     pub learned: u64,
     /// Learnt clauses deleted by database reduction.
     pub deleted: u64,
+}
+
+impl SolverStats {
+    /// The per-field difference `self - earlier` (saturating): the work
+    /// done between two cumulative snapshots.
+    pub fn since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            learned: self.learned.saturating_sub(earlier.learned),
+            deleted: self.deleted.saturating_sub(earlier.deleted),
+        }
+    }
+
+    /// The per-field sum `self + other` (saturating): aggregate work of
+    /// two solvers, e.g. a miter and its key finder.
+    pub fn plus(&self, other: &SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions.saturating_add(other.decisions),
+            conflicts: self.conflicts.saturating_add(other.conflicts),
+            propagations: self.propagations.saturating_add(other.propagations),
+            restarts: self.restarts.saturating_add(other.restarts),
+            learned: self.learned.saturating_add(other.learned),
+            deleted: self.deleted.saturating_add(other.deleted),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -321,6 +352,20 @@ impl Solver {
     /// Search statistics so far.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Whether the clause database is still consistent at the root level.
+    /// Once `false` (an empty clause was derived), every future solve
+    /// returns [`Outcome::Unsat`] regardless of assumptions.
+    pub fn root_consistent(&self) -> bool {
+        self.ok
+    }
+
+    /// Sets the conflict budget to `budget` conflicts *from now* (on top of
+    /// the cumulative count), or removes it. This is the per-call form of
+    /// [`Solver::set_max_conflicts`].
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.config.max_conflicts = budget.map(|b| self.stats.conflicts.saturating_add(b));
     }
 
     /// Updates the wall-clock budget for subsequent solve calls (the budget
@@ -594,10 +639,7 @@ impl Solver {
         }
 
         // LBD = distinct decision levels among learnt literals.
-        let mut levels: Vec<u32> = learnt
-            .iter()
-            .map(|l| self.level[l.var().index()])
-            .collect();
+        let mut levels: Vec<u32> = learnt.iter().map(|l| self.level[l.var().index()]).collect();
         levels.sort_unstable();
         levels.dedup();
         let lbd = levels.len() as u32;
@@ -665,9 +707,7 @@ impl Solver {
             .clauses
             .iter()
             .enumerate()
-            .filter(|(i, c)| {
-                c.learnt && !c.deleted && c.lits.len() > 2 && !self.is_locked(*i)
-            })
+            .filter(|(i, c)| c.learnt && !c.deleted && c.lits.len() > 2 && !self.is_locked(*i))
             .map(|(i, _)| i)
             .collect();
         // Worst first: high LBD, then low activity.
@@ -717,7 +757,7 @@ impl Solver {
         if let Some(timeout) = self.config.timeout {
             if let Some(start) = self.start {
                 // Cheap check: only probe the clock periodically.
-                if self.stats.conflicts % 256 == 0 && start.elapsed() >= timeout {
+                if self.stats.conflicts.is_multiple_of(256) && start.elapsed() >= timeout {
                     return true;
                 }
             }
@@ -746,7 +786,11 @@ impl Solver {
         // Scale the learnt-clause budget to the instance (MiniSat keeps
         // roughly a third of the problem size; undersizing makes the solver
         // throw away everything it learns and thrash).
-        let live_problem = self.clauses.iter().filter(|c| !c.deleted && !c.learnt).count();
+        let live_problem = self
+            .clauses
+            .iter()
+            .filter(|c| !c.deleted && !c.learnt)
+            .count();
         self.learnt_limit = self.learnt_limit.max(live_problem as f64 / 3.0).max(2000.0);
         // (Re)seed the decision heap.
         for i in 0..self.num_vars() {

@@ -331,11 +331,7 @@ mod tests {
     fn pinning_shares_variables() {
         let nl = ril_netlist::bench::c17();
         let mut cnf = Cnf::new();
-        let shared: HashMap<NetId, Var> = nl
-            .inputs()
-            .iter()
-            .map(|&n| (n, cnf.new_var()))
-            .collect();
+        let shared: HashMap<NetId, Var> = nl.inputs().iter().map(|&n| (n, cnf.new_var())).collect();
         let v1 = encode_netlist_into(&nl, &mut cnf, &shared).unwrap();
         let v2 = encode_netlist_into(&nl, &mut cnf, &shared).unwrap();
         for &inp in nl.inputs() {

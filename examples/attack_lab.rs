@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .blocks(3)
         .seed(11)
         .obfuscate(&host)?;
-    println!("[1] 3 × 2x2 RIL-Blocks, no scan defense ({} key bits)", plain.key_width());
+    println!(
+        "[1] 3 × 2x2 RIL-Blocks, no scan defense ({} key bits)",
+        plain.key_width()
+    );
     let report = run_sat_attack(&plain, &sat_cfg)?;
     println!("    SAT attack: {report}");
     let report = run_appsat(&plain, &app_cfg)?;
@@ -65,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Round 3: why point functions are not enough -----------------------
     let sfll = sfll_lock(&generators::adder(8), 8, 3)?;
-    println!("\n[3] SFLL-style point-function baseline ({} key bits)", sfll.key_width());
+    println!(
+        "\n[3] SFLL-style point-function baseline ({} key bits)",
+        sfll.key_width()
+    );
     let removal = removal_attack(&sfll, 32, 2)?;
     println!(
         "    Removal+bypass: salvage error {:.4} % — the restore unit peels right off",

@@ -8,11 +8,11 @@
 //! cargo run --example dynamic_morphing
 //! ```
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use ril_blocks::core::{morph_all, Obfuscator, RilBlockSpec};
 use ril_blocks::mram::{MramLut2, TransientSim};
 use ril_blocks::netlist::generators;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn key_hex(bits: &[bool]) -> String {
     bits.chunks(4)

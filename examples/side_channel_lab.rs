@@ -35,7 +35,11 @@ fn main() {
         println!(
             "TVLA t-test: |t| = {:.2} (threshold {TVLA_THRESHOLD}) → {}",
             leak.t_statistic.abs(),
-            if leak.leaks { "LEAKS" } else { "no first-order leak" }
+            if leak.leaks {
+                "LEAKS"
+            } else {
+                "no first-order leak"
+            }
         );
         let rate = key_recovery_rate(tech, 28, 500, noise, 3);
         println!("recovery rate over 28 victims: {:.0} %\n", rate * 100.0);

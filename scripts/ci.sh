@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Pre-PR gate: tier-1 tests, formatting, and lints. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build (release) =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== formatting =="
+cargo fmt --all --check
+
+echo "== clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all green"

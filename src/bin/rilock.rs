@@ -12,9 +12,7 @@
 //! `KEYINPUT` order (what `lock` writes). `attack` builds the activated-IC
 //! oracle from the locked netlist plus that key, then plays the adversary.
 
-use ril_blocks::attacks::{
-    appsat_attack, sat_attack, AppSatConfig, Oracle, SatAttackConfig,
-};
+use ril_blocks::attacks::{appsat_attack, sat_attack, AppSatConfig, Oracle, SatAttackConfig};
 use ril_blocks::core::key::{KeyBitKind, KeyStore};
 use ril_blocks::core::{LockedCircuit, Obfuscator, RilBlockSpec};
 use ril_blocks::netlist::{parse_bench, parse_verilog, write_bench, write_verilog, Netlist};
@@ -154,7 +152,11 @@ fn lock(args: &[String]) -> Result<(), String> {
     println!(
         "locked {} with {blocks} × {spec}{}: {} key bits, +{} gates",
         nl.name(),
-        if locked.spec.scan_obfuscation { " (+SE)" } else { "" },
+        if locked.spec.scan_obfuscation {
+            " (+SE)"
+        } else {
+            ""
+        },
         locked.key_width(),
         locked.gate_overhead(),
     );
@@ -214,11 +216,7 @@ fn attack(args: &[String]) -> Result<(), String> {
     };
     println!("{report}");
     if let Some(found) = report.result.key() {
-        let matches = found
-            .iter()
-            .zip(&key)
-            .filter(|(a, b)| a == b)
-            .count();
+        let matches = found.iter().zip(&key).filter(|(a, b)| a == b).count();
         println!(
             "recovered key agrees with the stored key on {matches}/{} bits",
             key.len()

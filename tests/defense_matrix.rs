@@ -2,6 +2,8 @@
 //! schemes. Small instances, generous assertions on the *direction* of the
 //! results (exact runtimes are the bench harness's job).
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use ril_blocks::attacks::{
     output_inversion_lock, removal_attack, run_sat_attack, scansat_attack, SatAttackConfig,
 };
@@ -10,8 +12,6 @@ use ril_blocks::core::metrics::output_corruptibility;
 use ril_blocks::core::{Obfuscator, RilBlockSpec};
 use ril_blocks::netlist::generators;
 use ril_blocks::sca::{key_recovery_rate, LutTechnology};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::Duration;
 
 fn cfg() -> SatAttackConfig {

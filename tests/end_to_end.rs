@@ -1,13 +1,13 @@
 //! Cross-crate integration: the full defender→attacker pipelines.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use ril_blocks::attacks::{
     attacker_view, removal_attack, run_appsat, run_sat_attack, AppSatConfig, Oracle,
     SatAttackConfig,
 };
 use ril_blocks::core::{morph_all, InsertionPolicy, KeyBitKind, Obfuscator, RilBlockSpec};
 use ril_blocks::netlist::{generators, parse_bench, write_bench, Simulator};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::Duration;
 
 fn fast_sat() -> SatAttackConfig {
@@ -33,9 +33,7 @@ fn lock_export_reimport_attack_verify() {
     let mut oracle = Oracle::new(&locked).expect("oracle");
     let report = ril_blocks::attacks::sat_attack(&reimported, &mut oracle, &fast_sat());
     let key = report.result.key().expect("attack succeeds on 2x2 blocks");
-    assert!(locked
-        .equivalent_under_key(key, 32)
-        .expect("sim ok"));
+    assert!(locked.equivalent_under_key(key, 32).expect("sim ok"));
 }
 
 #[test]
@@ -137,7 +135,11 @@ fn se_defense_blocks_sat_appsat_and_removal_together() {
     assert!(app_defended, "AppSAT: {app}");
 
     let rem = removal_attack(&locked, 16, 1).expect("sim ok");
-    assert!(rem.error_rate > 0.01, "removal salvage error {}", rem.error_rate);
+    assert!(
+        rem.error_rate > 0.01,
+        "removal salvage error {}",
+        rem.error_rate
+    );
 }
 
 #[test]

@@ -1,13 +1,13 @@
 //! Property-based cross-crate tests (proptest).
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use ril_blocks::core::banyan::BanyanNetwork;
 use ril_blocks::core::lut::{complement_lut, swap_lut_inputs};
 use ril_blocks::core::{Obfuscator, RilBlockSpec};
 use ril_blocks::netlist::{generators, parse_bench, write_bench, Simulator};
-use ril_blocks::sat::{encode_netlist, Cnf, Lit, Outcome, Solver};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ril_blocks::sat::{encode_netlist, Cnf, Lit, Outcome, Session, Solver};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -90,6 +90,59 @@ proptest! {
             prop_assert!(locked.netlist.validate().is_ok());
             prop_assert!(locked.verify(8).expect("sim ok"));
         }
+    }
+
+    /// An incremental [`Session`] fed random clause batches agrees with a
+    /// from-scratch [`Solver`] on the accumulated formula after every
+    /// batch — with and without random assumptions — and its SAT models
+    /// satisfy everything added so far.
+    #[test]
+    fn incremental_session_matches_from_scratch(seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(3..10usize);
+        let batches = rng.gen_range(1..6usize);
+        let mut accumulated = Cnf::new();
+        accumulated.new_vars(n);
+        let mut session = Session::new();
+        session.reserve_vars(n);
+        for _ in 0..batches {
+            // A random batch of clauses lands in both the live session and
+            // the accumulated reference formula.
+            let m = rng.gen_range(1..10usize);
+            for _ in 0..m {
+                let len = rng.gen_range(1..4usize);
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| Lit::new(rng.gen_range(0..n), rng.gen()))
+                    .collect();
+                accumulated.add_clause(lits.clone());
+                session.add_clause(lits);
+            }
+            let mut scratch = Solver::from_cnf(&accumulated);
+            if rng.gen_bool(0.5) {
+                // Plain solve.
+                let outcome = session.solve();
+                prop_assert_eq!(outcome, scratch.solve());
+                if outcome == Outcome::Sat {
+                    prop_assert!(accumulated.is_satisfied_by(session.model()));
+                }
+            } else {
+                // Solve under random assumptions; the session must neither
+                // poison itself nor disagree with the scratch solver.
+                let k = rng.gen_range(0..=n.min(3));
+                let assumptions: Vec<Lit> = (0..k)
+                    .map(|_| Lit::new(rng.gen_range(0..n), rng.gen()))
+                    .collect();
+                let outcome = session.solve_under(&assumptions);
+                prop_assert_eq!(outcome, scratch.solve_with_assumptions(&assumptions));
+                if outcome == Outcome::Sat {
+                    prop_assert!(accumulated.is_satisfied_by(session.model()));
+                    for a in &assumptions {
+                        prop_assert_eq!(session.model()[a.var().index()], a.target());
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(session.solve_count(), batches);
     }
 
     /// Solver models always satisfy the formula (soundness of SAT answers).
