@@ -12,6 +12,8 @@
 //! * [`oracle`] — the activated-IC black box (scan accesses assert `SE`,
 //!   so Scan-Enable-defended designs answer with corrupted responses).
 //! * [`preprocess`] — CNF statistics and BVA preprocessing.
+//! * [`json`] — the hand-rolled JSON reader matching the suite's
+//!   hand-rolled writers (no crates-io `serde` in this environment).
 //!
 //! ## Quickstart
 //!
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod appsat;
+pub mod json;
 mod miter;
 pub mod oracle;
 pub mod preprocess;

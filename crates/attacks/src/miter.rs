@@ -314,6 +314,27 @@ impl AttackInstance {
             Outcome::Unknown => Err(()),
         }
     }
+
+    /// Like [`AttackInstance::extract_key`], but under extra assumptions on
+    /// the *same warm finder session* (nothing is rebuilt): `None` means no
+    /// key satisfies the recorded responses *and* the assumptions — the
+    /// caller may retry unconstrained. ScanSAT uses this to prefer the
+    /// no-boundary-inversion hypothesis over its mask variables.
+    pub(crate) fn extract_key_under(
+        &mut self,
+        assumptions: &[Lit],
+        timeout: Option<Duration>,
+    ) -> Result<Option<Vec<bool>>, ()> {
+        self.finder.set_timeout(timeout);
+        match self.finder.solve_under(assumptions) {
+            Outcome::Sat => {
+                let model = self.finder.model();
+                Ok(Some(self.keyf.iter().map(|v| model[v.index()]).collect()))
+            }
+            Outcome::Unsat => Ok(None),
+            Outcome::Unknown => Err(()),
+        }
+    }
 }
 
 fn pin_map(nets: &[NetId], vars: &[Var]) -> HashMap<NetId, Var> {

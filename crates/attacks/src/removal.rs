@@ -18,7 +18,9 @@ use ril_core::LockedCircuit;
 use ril_netlist::cone::fanout_cone;
 use ril_netlist::generators::const_net;
 use ril_netlist::{GateId, NetId, Netlist, NetlistError, Simulator};
+use ril_sat::{EquivOptions, EquivResult, EquivSession};
 use std::collections::{HashMap, HashSet};
+use std::time::Duration;
 
 /// Result of a removal attack.
 #[derive(Debug, Clone)]
@@ -32,6 +34,12 @@ pub struct RemovalReport {
     /// Fraction of output bits that differ from the true function over the
     /// sampled patterns (0 = perfect recovery).
     pub error_rate: f64,
+    /// Exact SAT verdict on the salvage, from the incremental
+    /// [`EquivSession`] miter (`None` when the solve budget expired).
+    /// Random sampling can miss point-function discrepancies — SFLL's
+    /// stripped pattern is exactly one input — so the exact check is what
+    /// separates "perfect salvage" from "merely close".
+    pub exact_equivalent: Option<bool>,
 }
 
 impl RemovalReport {
@@ -119,11 +127,44 @@ pub fn removal_attack(
             total += 64;
         }
     }
+    // Exact equivalence of the salvage vs. the true function, on a
+    // persistent EquivSession miter. Inputs present only on the salvaged
+    // side (dangling key pins, the SE pin) are left free — they no longer
+    // reach any output after the bypass + optimize passes.
+    let ignore_inputs: Vec<String> = nl
+        .inputs()
+        .iter()
+        .map(|&i| nl.net(i).name().to_string())
+        .filter(|name| {
+            !locked
+                .original
+                .inputs()
+                .iter()
+                .any(|&o| locked.original.net(o).name() == name)
+        })
+        .collect();
+    let options = EquivOptions {
+        timeout: Some(Duration::from_secs(5)),
+        ignore_inputs,
+        fixed_inputs: Vec::new(),
+        // The bypass re-drives outputs from differently-named nets.
+        match_outputs_by_position: true,
+    };
+    let exact_equivalent = match EquivSession::new(&locked.original, &nl, &options) {
+        Ok(mut sess) => match sess.check() {
+            EquivResult::Equivalent => Some(true),
+            EquivResult::Inequivalent { .. } => Some(false),
+            EquivResult::Unknown => None,
+        },
+        Err(_) => None,
+    };
+
     Ok(RemovalReport {
         removed_gates,
         bypassed,
         recovered: nl,
         error_rate: diff as f64 / total.max(1) as f64,
+        exact_equivalent,
     })
 }
 
@@ -148,6 +189,9 @@ mod tests {
             "error {} should be tiny",
             report.error_rate
         );
+        // Sampling calls it a success, but the exact miter knows the
+        // salvage still errs on the stripped point.
+        assert_eq!(report.exact_equivalent, Some(false));
     }
 
     #[test]
@@ -164,6 +208,7 @@ mod tests {
             "removal should not recover absorbed gates (error {})",
             report.error_rate
         );
+        assert_eq!(report.exact_equivalent, Some(false));
         // The salvaged netlist is structurally valid, just wrong.
         report.recovered.validate().unwrap();
     }

@@ -1,5 +1,6 @@
 //! Attack outcome types shared by the whole suite.
 
+use crate::json::{escape, JsonValue};
 use ril_sat::SolverStats;
 use std::fmt;
 use std::time::Duration;
@@ -107,16 +108,23 @@ impl AttackReport {
 
     /// Serializes the report (including per-iteration solver statistics) as
     /// a JSON object, for the benchmark drivers' machine-readable output.
+    /// [`AttackReport::from_json`] parses it back — the bench crate's cell
+    /// cache relies on this round trip.
     pub fn to_json(&self) -> String {
         let result = match &self.result {
-            AttackResult::ExactKey(k) => format!(r#"{{"kind":"exact_key","bits":{}}}"#, k.len()),
+            AttackResult::ExactKey(k) => format!(
+                r#"{{"kind":"exact_key","bits":{},"key":"{}"}}"#,
+                k.len(),
+                key_string(k)
+            ),
             AttackResult::ApproxKey { key, est_error } => format!(
-                r#"{{"kind":"approx_key","bits":{},"est_error":{est_error}}}"#,
-                key.len()
+                r#"{{"kind":"approx_key","bits":{},"est_error":{est_error},"key":"{}"}}"#,
+                key.len(),
+                key_string(key)
             ),
             AttackResult::Timeout => r#"{"kind":"timeout"}"#.to_string(),
             AttackResult::Failed(why) => {
-                format!(r#"{{"kind":"failed","why":"{}"}}"#, json_escape(why))
+                format!(r#"{{"kind":"failed","why":"{}"}}"#, escape(why))
             }
         };
         let iters: Vec<String> = self
@@ -148,25 +156,124 @@ impl AttackReport {
     }
 }
 
+impl AttackReport {
+    /// Parses a report previously rendered by [`AttackReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the document is not valid
+    /// JSON or lacks the report's fields.
+    pub fn from_json(s: &str) -> Result<AttackReport, String> {
+        let v = JsonValue::parse(s).map_err(|e| e.to_string())?;
+        AttackReport::from_json_value(&v)
+    }
+
+    /// Parses a report from an already-parsed [`JsonValue`] object (for
+    /// callers that embed reports in larger documents).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on shape mismatches.
+    pub fn from_json_value(v: &JsonValue) -> Result<AttackReport, String> {
+        let result_v = v.get("result").ok_or("missing `result`")?;
+        let result = match result_v.get("kind").and_then(JsonValue::as_str) {
+            Some("exact_key") => AttackResult::ExactKey(parse_key(result_v)?),
+            Some("approx_key") => AttackResult::ApproxKey {
+                key: parse_key(result_v)?,
+                est_error: result_v
+                    .get("est_error")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or("missing `est_error`")?,
+            },
+            Some("timeout") => AttackResult::Timeout,
+            Some("failed") => AttackResult::Failed(
+                result_v
+                    .get("why")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("missing `why`")?
+                    .to_string(),
+            ),
+            other => return Err(format!("unknown result kind {other:?}")),
+        };
+        let wall_s = v
+            .get("wall_s")
+            .and_then(JsonValue::as_f64)
+            .ok_or("missing `wall_s`")?;
+        let functionally_correct = match v.get("functionally_correct") {
+            None | Some(JsonValue::Null) => None,
+            Some(b) => Some(b.as_bool().ok_or("`functionally_correct` not a bool")?),
+        };
+        let iteration_stats = v
+            .get("per_iteration")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .map(|it| {
+                Ok(IterationStats {
+                    iteration: req_u64(it, "iteration")? as usize,
+                    wall: Duration::from_secs_f64(
+                        it.get("wall_s")
+                            .and_then(JsonValue::as_f64)
+                            .ok_or("missing iteration `wall_s`")?,
+                    ),
+                    stats: parse_stats(it)?,
+                    clauses_added: req_u64(it, "clauses_added")? as usize,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(AttackReport {
+            result,
+            wall: Duration::from_secs_f64(wall_s),
+            iterations: req_u64(v, "iterations")? as usize,
+            oracle_queries: req_u64(v, "oracle_queries")?,
+            functionally_correct,
+            miter_stats: parse_stats(v.get("miter").ok_or("missing `miter`")?)?,
+            finder_stats: parse_stats(v.get("finder").ok_or("missing `finder`")?)?,
+            iteration_stats,
+        })
+    }
+}
+
+fn key_string(key: &[bool]) -> String {
+    key.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+fn parse_key(v: &JsonValue) -> Result<Vec<bool>, String> {
+    let s = v
+        .get("key")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing `key` bit string")?;
+    s.chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(format!("bad key bit {other:?}")),
+        })
+        .collect()
+}
+
+fn req_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing numeric `{key}`"))
+}
+
+fn parse_stats(v: &JsonValue) -> Result<SolverStats, String> {
+    Ok(SolverStats {
+        decisions: req_u64(v, "decisions")?,
+        conflicts: req_u64(v, "conflicts")?,
+        propagations: req_u64(v, "propagations")?,
+        restarts: req_u64(v, "restarts")?,
+        learned: req_u64(v, "learned")?,
+        deleted: req_u64(v, "deleted")?,
+    })
+}
+
 fn stats_fields(s: &SolverStats) -> String {
     format!(
         r#""decisions":{},"conflicts":{},"propagations":{},"restarts":{},"learned":{},"deleted":{}"#,
         s.decisions, s.conflicts, s.propagations, s.restarts, s.learned, s.deleted
     )
-}
-
-fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => r#"\""#.chars().collect::<Vec<_>>(),
-            '\\' => r"\\".chars().collect(),
-            '\n' => r"\n".chars().collect(),
-            '\r' => r"\r".chars().collect(),
-            '\t' => r"\t".chars().collect(),
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
 }
 
 impl fmt::Display for AttackReport {
@@ -254,6 +361,7 @@ mod tests {
         let j = r.to_json();
         assert!(j.contains(r#""kind":"exact_key""#), "{j}");
         assert!(j.contains(r#""bits":2"#), "{j}");
+        assert!(j.contains(r#""key":"10""#), "{j}");
         assert!(j.contains(r#""conflicts":7"#), "{j}");
         assert!(j.contains(r#""clauses_added":12"#), "{j}");
         assert!(j.contains(r#""per_iteration":[{"#), "{j}");
@@ -261,5 +369,45 @@ mod tests {
         let bad = report(AttackResult::Failed("he said \"no\"\n".into()));
         let j = bad.to_json();
         assert!(j.contains(r#"he said \"no\"\n"#), "{j}");
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let mut r = report(AttackResult::ExactKey(vec![true, false, true]));
+        r.wall = Duration::from_millis(1500);
+        r.functionally_correct = Some(true);
+        r.miter_stats.conflicts = 42;
+        r.finder_stats.propagations = 9;
+        r.iteration_stats.push(IterationStats {
+            iteration: 1,
+            wall: Duration::from_millis(250),
+            stats: SolverStats {
+                decisions: 3,
+                conflicts: 42,
+                ..SolverStats::default()
+            },
+            clauses_added: 12,
+        });
+        let parsed = AttackReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+
+        for result in [
+            AttackResult::Timeout,
+            AttackResult::Failed("oracle said \"no\"\n".into()),
+            AttackResult::ApproxKey {
+                key: vec![false, true],
+                est_error: 0.25,
+            },
+        ] {
+            let r = report(result);
+            assert_eq!(AttackReport::from_json(&r.to_json()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(AttackReport::from_json("{}").is_err());
+        assert!(AttackReport::from_json("not json").is_err());
+        assert!(AttackReport::from_json(r#"{"result":{"kind":"mystery"}}"#).is_err());
     }
 }

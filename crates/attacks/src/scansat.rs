@@ -16,12 +16,14 @@
 
 use crate::oracle::{attacker_view, Oracle};
 use crate::report::{AttackReport, AttackResult};
-use crate::satattack::{sat_attack, SatAttackConfig};
+use crate::satattack::SatAttackConfig;
+use crate::session::{AttackSession, DipStep};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ril_core::key::{KeyBitKind, KeyStore};
 use ril_core::{LockedCircuit, RilBlockSpec, SE_PIN};
 use ril_netlist::{GateKind, Netlist, NetlistError};
+use ril_sat::Lit;
 
 /// A classic scan-response obfuscation baseline: each primary output is
 /// XOR-ed with `SE ∧ k_i` for a hidden static key bit — inversion *at the
@@ -61,10 +63,15 @@ pub fn output_inversion_lock(original: &Netlist, seed: u64) -> Result<LockedCirc
 }
 
 /// Runs the ScanSAT model: the attacker augments his netlist view with one
-/// hypothetical inversion key per primary output (`out ⊕ m_i`), then runs
-/// the plain SAT attack against the scan oracle. Returns the report; the
-/// recovered key is truncated back to the real key bits for the
-/// ground-truth functional check.
+/// hypothetical inversion key per primary output (`out ⊕ m_i`), then
+/// drives the incremental [`AttackSession`] directly — one persistent
+/// miter/finder pair for the whole DIP loop, nothing rebuilt per
+/// iteration. On convergence the warm finder is first solved *under the
+/// assumption that every mask bit is 0* (the no-boundary-inversion
+/// hypothesis, which yields the cleanest key when the target has no scan
+/// masking), falling back to an unconstrained extraction when a mask is
+/// genuinely required. The recovered key is truncated back to the real key
+/// bits for the ground-truth functional check.
 ///
 /// # Errors
 ///
@@ -84,7 +91,46 @@ pub fn scansat_attack(
         view.add_gate(GateKind::Xor, &[out, m], spliced)?;
     }
     let mut oracle = Oracle::new(locked)?;
-    let mut report = sat_attack(&view, &mut oracle, cfg);
+    let mut sess = AttackSession::new(
+        &view,
+        &oracle,
+        cfg.solver.clone(),
+        None,
+        cfg.timeout,
+        cfg.max_iterations,
+    );
+
+    let outcome = loop {
+        match sess.step(&mut oracle) {
+            DipStep::Distinguished => {}
+            DipStep::Budget => break AttackResult::Timeout,
+            DipStep::OracleInconsistent => {
+                break AttackResult::Failed(
+                    "scan oracle contradicts key-independent logic (model/oracle mismatch)".into(),
+                )
+            }
+            DipStep::Converged => {
+                let no_mask: Vec<Lit> = sess.inst.keyf[real_key_width..]
+                    .iter()
+                    .map(|v| v.negative())
+                    .collect();
+                break match sess.extract_key_under(&no_mask) {
+                    Ok(Some(key)) => AttackResult::ExactKey(key),
+                    // No key works without a mask — let the masks float.
+                    Ok(None) => match sess.extract_key() {
+                        Ok(Some(key)) => AttackResult::ExactKey(key),
+                        Ok(None) => AttackResult::Failed(
+                            "no key/mask pair is consistent with the scan oracle".into(),
+                        ),
+                        Err(()) => AttackResult::Timeout,
+                    },
+                    Err(()) => AttackResult::Timeout,
+                };
+            }
+        }
+    };
+    let mut report = sess.report(&oracle, outcome);
+
     // Truncate mask bits; ground-truth check on the real key.
     if let Some(key) = report.result.key() {
         let real: Vec<bool> = key[..real_key_width].to_vec();

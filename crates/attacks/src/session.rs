@@ -122,6 +122,17 @@ impl<'a> AttackSession<'a> {
         self.inst.extract_key(budget)
     }
 
+    /// [`AttackSession::extract_key`] under extra assumptions against the
+    /// same warm finder (`Ok(None)` = no key under these assumptions; the
+    /// caller may fall back to an unconstrained extraction).
+    pub(crate) fn extract_key_under(
+        &mut self,
+        assumptions: &[ril_sat::Lit],
+    ) -> Result<Option<Vec<bool>>, ()> {
+        let budget = self.remaining().map(|d| d.max(Duration::from_millis(100)));
+        self.inst.extract_key_under(assumptions, budget)
+    }
+
     /// Finalizes the attack into an [`AttackReport`], lifting the miter
     /// session's per-solve records into per-iteration statistics.
     pub(crate) fn report(&self, oracle: &Oracle, result: AttackResult) -> AttackReport {

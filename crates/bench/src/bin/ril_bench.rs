@@ -1,0 +1,132 @@
+//! `ril-bench` — the one CLI for every table and figure of the paper.
+//!
+//! ```text
+//! ril-bench list                      # what can run
+//! ril-bench run table1 table3         # specific experiments
+//! ril-bench run --all                 # everything, in registry order
+//! ril-bench run --all --smoke         # CI-sized variants
+//! ril-bench run --no-cache table1     # recompute every cell
+//! ril-bench run --out-dir out table1  # override RIL_OUT_DIR
+//! ```
+//!
+//! Environment knobs (`RIL_TIMEOUT_SECS`, `RIL_THREADS`, `RIL_OUT_DIR`,
+//! `RIL_TABLE1_FULL`, `RIL_MC_INSTANCES`) are parsed and validated once
+//! into a `RunConfig`; malformed values are hard errors, not silent
+//! defaults. Each experiment leaves `MANIFEST_<name>.json`, an
+//! `EVENTS_<name>.jsonl` stream, and content-addressed cell caches under
+//! the output directory, so interrupted sweeps resume where they stopped.
+
+use std::process::ExitCode;
+
+use ril_bench::experiment::{find, registry, run_experiments, Experiment};
+use ril_bench::RunConfig;
+
+fn usage() -> &'static str {
+    "usage:\n  ril-bench list\n  ril-bench run [--all] [--smoke] [--no-cache] [--out-dir DIR] [NAME…]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("{:<15} description", "experiment");
+            for exp in registry() {
+                println!("{:<15} {}", exp.name(), exp.describe());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => run(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n{}", usage());
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut cfg = match RunConfig::from_env() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("invalid environment: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut all = false;
+    let mut smoke = false;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => all = true,
+            "--smoke" => smoke = true,
+            "--no-cache" => cfg.use_cache = false,
+            "--out-dir" => match it.next() {
+                Some(dir) => cfg.out_dir = dir.into(),
+                None => {
+                    eprintln!("--out-dir needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    if smoke {
+        cfg = cfg.apply_smoke();
+    }
+    let experiments: Vec<Box<dyn Experiment>> = if all {
+        if !names.is_empty() {
+            eprintln!(
+                "--all and explicit names are mutually exclusive\n{}",
+                usage()
+            );
+            return ExitCode::from(2);
+        }
+        registry()
+    } else {
+        if names.is_empty() {
+            eprintln!("nothing to run\n{}", usage());
+            return ExitCode::from(2);
+        }
+        let mut exps = Vec::new();
+        for name in &names {
+            match find(name) {
+                Some(exp) => exps.push(exp),
+                None => {
+                    eprintln!("unknown experiment {name:?} — try `ril-bench list`");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        exps
+    };
+
+    let records = run_experiments(&experiments, &cfg);
+    println!("\n== run summary ({}) ==", cfg.out_dir.display());
+    let mut failures = 0usize;
+    for r in &records {
+        match &r.outcome {
+            Ok(summary) => println!(
+                "  ok   {:<15} {:>8.1}s  cached {:>3}  computed {:>3}  {}",
+                r.name, r.wall_s, r.cached_cells, r.computed_cells, summary
+            ),
+            Err(e) => {
+                failures += 1;
+                println!("  FAIL {:<15} {:>8.1}s  {}", r.name, r.wall_s, e);
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,156 @@
+//! Structured JSONL event stream for experiment runs.
+//!
+//! The former binaries narrated progress with ad-hoc `eprintln!` lines that
+//! were impossible to post-process. [`EventSink`] writes one JSON object per
+//! line to `<out_dir>/EVENTS_<experiment>.jsonl` (and mirrors a short human
+//! form to stderr), so a run leaves a machine-readable trace: which cells
+//! were computed vs. served from cache, how long each took, and what failed.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use ril_attacks::json::escape;
+
+/// Event severity / kind tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Run lifecycle (start / finish).
+    Run,
+    /// A sweep cell completed (computed or cached).
+    Cell,
+    /// Informational note.
+    Note,
+    /// A recoverable failure (the run continues).
+    Error,
+}
+
+impl EventKind {
+    fn tag(self) -> &'static str {
+        match self {
+            EventKind::Run => "run",
+            EventKind::Cell => "cell",
+            EventKind::Note => "note",
+            EventKind::Error => "error",
+        }
+    }
+}
+
+/// A JSONL event writer scoped to one experiment run.
+///
+/// Events carry a monotonic timestamp (seconds since the sink was opened),
+/// so interleaving across parallel sweep workers stays interpretable.
+pub struct EventSink {
+    file: Option<File>,
+    started: Instant,
+    experiment: String,
+    mirror_stderr: bool,
+}
+
+impl EventSink {
+    /// Opens (appends to) `<dir>/EVENTS_<experiment>.jsonl`. A sink that
+    /// cannot be opened degrades to stderr-only rather than failing the
+    /// run.
+    pub fn open(dir: &Path, experiment: &str) -> EventSink {
+        let _ = std::fs::create_dir_all(dir);
+        let path = dir.join(format!("EVENTS_{experiment}.jsonl"));
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .ok();
+        EventSink {
+            file,
+            started: Instant::now(),
+            experiment: experiment.to_string(),
+            mirror_stderr: true,
+        }
+    }
+
+    /// A sink that discards everything — for tests and `describe`.
+    pub fn null() -> EventSink {
+        EventSink {
+            file: None,
+            started: Instant::now(),
+            experiment: String::new(),
+            mirror_stderr: false,
+        }
+    }
+
+    /// Emits one event. `fields` is a pre-rendered JSON fragment
+    /// (`"k":v,...`) appended to the standard envelope; pass `""` for
+    /// none.
+    pub fn emit(&mut self, kind: EventKind, message: &str, fields: &str) {
+        let t = self.started.elapsed().as_secs_f64();
+        if let Some(f) = &mut self.file {
+            let extra = if fields.is_empty() {
+                String::new()
+            } else {
+                format!(",{fields}")
+            };
+            let line = format!(
+                r#"{{"t":{t:.3},"kind":"{}","experiment":"{}","message":"{}"{extra}}}"#,
+                kind.tag(),
+                escape(&self.experiment),
+                escape(message),
+            );
+            let _ = writeln!(f, "{line}");
+        }
+        if self.mirror_stderr {
+            eprintln!("[{}] {} {}", self.experiment, kind.tag(), message);
+        }
+    }
+
+    /// Convenience: a `Note` event with no extra fields.
+    pub fn note(&mut self, message: &str) {
+        self.emit(EventKind::Note, message, "");
+    }
+
+    /// Convenience: an `Error` event with no extra fields.
+    pub fn error(&mut self, message: &str) {
+        self.emit(EventKind::Error, message, "");
+    }
+
+    /// Seconds since the sink was opened.
+    pub fn elapsed_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ril_attacks::json::JsonValue;
+
+    #[test]
+    fn events_are_valid_jsonl() {
+        let dir = std::env::temp_dir().join(format!("ril_events_test_{}", std::process::id()));
+        let mut sink = EventSink::open(&dir, "unit");
+        sink.mirror_stderr = false;
+        sink.note("hello \"world\"");
+        sink.emit(
+            EventKind::Cell,
+            "cell done",
+            r#""cell":"2x2","cached":true"#,
+        );
+        drop(sink);
+        let text = std::fs::read_to_string(dir.join("EVENTS_unit.jsonl")).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            JsonValue::parse(line).unwrap();
+        }
+        let second = JsonValue::parse(lines[1]).unwrap();
+        assert_eq!(second.get("kind").unwrap().as_str(), Some("cell"));
+        assert_eq!(second.get("cached").unwrap().as_bool(), Some(true));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn null_sink_is_silent() {
+        let mut sink = EventSink::null();
+        sink.note("nothing happens");
+        assert!(sink.file.is_none());
+    }
+}

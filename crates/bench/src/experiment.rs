@@ -1,0 +1,497 @@
+//! The experiment framework: one trait, one registry, one driver.
+//!
+//! Every table and figure of the paper is an [`Experiment`]: a named unit
+//! with a one-line description and a `run` that takes the validated
+//! [`RunConfig`] plus a [`RunContext`] (event sink, cell cache, cell
+//! accounting). The [`registry`] enumerates all of them; the `ril-bench`
+//! binary is nothing but argument parsing over this module.
+//!
+//! Failure isolation: [`run_experiments`] wraps each experiment in
+//! `catch_unwind`, so one failing (or even panicking) experiment is
+//! recorded in its manifest and the remaining experiments still run —
+//! `ril-bench run --all` never dies on the first bad cell.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ril_attacks::json::{escape, JsonValue};
+use ril_attacks::AttackReport;
+
+use crate::cache::{CacheKey, CellCache, Manifest};
+use crate::config::{ConfigError, RunConfig};
+use crate::events::{EventKind, EventSink};
+use crate::CellOutcome;
+
+/// What an experiment hands back on success.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentOutput {
+    /// One-line human summary (shown in the run footer).
+    pub summary: String,
+    /// Files the experiment wrote (tables, JSON, CSV).
+    pub files: Vec<PathBuf>,
+}
+
+impl ExperimentOutput {
+    /// An output with a summary and no files.
+    pub fn summary(text: impl Into<String>) -> ExperimentOutput {
+        ExperimentOutput {
+            summary: text.into(),
+            files: Vec::new(),
+        }
+    }
+}
+
+/// A recoverable experiment failure. One failing experiment must not
+/// abort `ril-bench run --all`, so everything that used to `unwrap()` in
+/// the bench binaries now funnels into this type.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// Rejected environment / configuration.
+    Config(ConfigError),
+    /// Netlist construction or simulation failure.
+    Netlist(ril_netlist::NetlistError),
+    /// Obfuscation failure (host too small, spec unsatisfiable, …).
+    Obfuscate(ril_core::ObfuscateError),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Anything else, with context.
+    Other(String),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Config(e) => write!(f, "config: {e}"),
+            ExperimentError::Netlist(e) => write!(f, "netlist: {e}"),
+            ExperimentError::Obfuscate(e) => write!(f, "obfuscate: {e}"),
+            ExperimentError::Io(e) => write!(f, "io: {e}"),
+            ExperimentError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<ConfigError> for ExperimentError {
+    fn from(e: ConfigError) -> ExperimentError {
+        ExperimentError::Config(e)
+    }
+}
+
+impl From<ril_netlist::NetlistError> for ExperimentError {
+    fn from(e: ril_netlist::NetlistError) -> ExperimentError {
+        ExperimentError::Netlist(e)
+    }
+}
+
+impl From<ril_core::ObfuscateError> for ExperimentError {
+    fn from(e: ril_core::ObfuscateError) -> ExperimentError {
+        ExperimentError::Obfuscate(e)
+    }
+}
+
+impl From<std::io::Error> for ExperimentError {
+    fn from(e: std::io::Error) -> ExperimentError {
+        ExperimentError::Io(e)
+    }
+}
+
+impl From<String> for ExperimentError {
+    fn from(msg: String) -> ExperimentError {
+        ExperimentError::Other(msg)
+    }
+}
+
+impl From<&str> for ExperimentError {
+    fn from(msg: &str) -> ExperimentError {
+        ExperimentError::Other(msg.to_string())
+    }
+}
+
+/// One table or figure of the paper, as a runnable unit.
+pub trait Experiment: Sync {
+    /// The CLI name (`table1`, `fig6`, …).
+    fn name(&self) -> &'static str;
+    /// One-line description for `ril-bench list`.
+    fn describe(&self) -> &'static str;
+    /// Runs the experiment.
+    ///
+    /// # Errors
+    ///
+    /// Recoverable failures; the driver records them and moves on.
+    fn run(&self, cfg: &RunConfig, ctx: &RunContext) -> Result<ExperimentOutput, ExperimentError>;
+}
+
+/// Shared run services handed to each experiment: the JSONL event sink,
+/// the content-addressed cell cache, and cell accounting. All methods take
+/// `&self` (interior mutability) so sweep cells can use the context from
+/// parallel worker threads.
+pub struct RunContext {
+    experiment: String,
+    events: Mutex<EventSink>,
+    cache: CellCache,
+    out_dir: PathBuf,
+    cached: AtomicUsize,
+    computed: AtomicUsize,
+    failed: AtomicUsize,
+}
+
+impl RunContext {
+    /// A context for `experiment` rooted at `cfg.out_dir`.
+    pub fn new(experiment: &str, cfg: &RunConfig) -> RunContext {
+        RunContext {
+            experiment: experiment.to_string(),
+            events: Mutex::new(EventSink::open(&cfg.out_dir, experiment)),
+            cache: CellCache::new(&cfg.out_dir, cfg.use_cache),
+            out_dir: cfg.out_dir.clone(),
+            cached: AtomicUsize::new(0),
+            computed: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+        }
+    }
+
+    /// A silent context over a throwaway cache — for unit tests.
+    pub fn null(experiment: &str) -> RunContext {
+        let dir = std::env::temp_dir().join(format!("ril_null_ctx_{}", std::process::id()));
+        RunContext {
+            experiment: experiment.to_string(),
+            events: Mutex::new(EventSink::null()),
+            cache: CellCache::new(&dir, false),
+            out_dir: dir,
+            cached: AtomicUsize::new(0),
+            computed: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Emits a `Note` event.
+    pub fn note(&self, message: &str) {
+        self.events.lock().expect("event sink").note(message);
+    }
+
+    /// Emits an `Error` event and bumps the failed-cell count.
+    pub fn cell_failed(&self, message: &str) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.events.lock().expect("event sink").error(message);
+    }
+
+    /// Runs one cacheable cell: returns the cached payload when `key` is
+    /// on disk, otherwise computes it, persists it atomically, and
+    /// returns it. Cache stores and per-cell accounting both happen
+    /// *inside* this call, which is what makes interrupted sweeps
+    /// resumable — every completed cell is durable the moment it
+    /// finishes, not when the table prints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error (after recording it); cache-write
+    /// failures are logged but do not fail the cell.
+    pub fn cached_cell<F>(
+        &self,
+        key: &CacheKey,
+        label: &str,
+        compute: F,
+    ) -> Result<String, ExperimentError>
+    where
+        F: FnOnce() -> Result<String, ExperimentError>,
+    {
+        if let Some(payload) = self.cache.get(key) {
+            self.cached.fetch_add(1, Ordering::Relaxed);
+            self.events.lock().expect("event sink").emit(
+                EventKind::Cell,
+                label,
+                r#""cached":true"#,
+            );
+            return Ok(payload);
+        }
+        let started = Instant::now();
+        let payload = compute().inspect_err(|e| {
+            self.cell_failed(&format!("{label}: {e}"));
+        })?;
+        let wall = started.elapsed().as_secs_f64();
+        if let Err(e) = self.cache.put(key, &payload) {
+            self.events
+                .lock()
+                .expect("event sink")
+                .error(&format!("cache store failed for {label}: {e}"));
+        }
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        self.events.lock().expect("event sink").emit(
+            EventKind::Cell,
+            label,
+            &format!(r#""cached":false,"wall_s":{wall:.3}"#),
+        );
+        Ok(payload)
+    }
+
+    /// Writes a machine-readable output file into the run's output
+    /// directory and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write_output(&self, name: &str, content: &str) -> Result<PathBuf, ExperimentError> {
+        std::fs::create_dir_all(&self.out_dir)?;
+        let path = self.out_dir.join(name);
+        std::fs::write(&path, content)?;
+        Ok(path)
+    }
+
+    /// Cells served from cache so far.
+    pub fn cached_cells(&self) -> usize {
+        self.cached.load(Ordering::Relaxed)
+    }
+
+    /// Cells computed so far.
+    pub fn computed_cells(&self) -> usize {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    /// Cells failed so far.
+    pub fn failed_cells(&self) -> usize {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// The experiment this context belongs to.
+    pub fn experiment(&self) -> &str {
+        &self.experiment
+    }
+}
+
+/// Encodes a [`CellOutcome`] as a cache payload.
+pub fn cell_payload(outcome: &CellOutcome) -> String {
+    format!(
+        r#"{{"cell":"{}","report":{}}}"#,
+        escape(&outcome.cell),
+        outcome.report_json()
+    )
+}
+
+/// Decodes a cache payload back into a [`CellOutcome`].
+///
+/// # Errors
+///
+/// Returns a message when the payload is not a valid cell object (e.g. a
+/// cache file from a different payload kind).
+pub fn parse_cell_payload(payload: &str) -> Result<CellOutcome, String> {
+    let v = JsonValue::parse(payload).map_err(|e| e.to_string())?;
+    let cell = v
+        .get("cell")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "cell payload missing \"cell\"".to_string())?
+        .to_string();
+    let report = match v.get("report") {
+        None | Some(JsonValue::Null) => None,
+        Some(r) => Some(AttackReport::from_json_value(r).map_err(|e| e.to_string())?),
+    };
+    Ok(CellOutcome { cell, report })
+}
+
+/// All experiments, in the order `run --all` executes them. Fast,
+/// solver-free experiments first so a broken build fails early and
+/// cheaply.
+pub fn registry() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(crate::experiments::overhead::Overhead),
+        Box::new(crate::experiments::table4::Table4),
+        Box::new(crate::experiments::fig5::Fig5),
+        Box::new(crate::experiments::fig6::Fig6),
+        Box::new(crate::experiments::corruptibility::Corruptibility),
+        Box::new(crate::experiments::key_redundancy::KeyRedundancy),
+        Box::new(crate::experiments::fig1::Fig1),
+        Box::new(crate::experiments::lut_scaling::LutScaling),
+        Box::new(crate::experiments::scan_defense::ScanDefense),
+        Box::new(crate::experiments::table1::Table1),
+        Box::new(crate::experiments::table3::Table3),
+        Box::new(crate::experiments::table5::Table5),
+    ]
+}
+
+/// Looks an experiment up by CLI name.
+pub fn find(name: &str) -> Option<Box<dyn Experiment>> {
+    registry().into_iter().find(|e| e.name() == name)
+}
+
+/// The outcome of one experiment under [`run_experiments`].
+#[derive(Debug)]
+pub struct RunRecord {
+    /// Experiment name.
+    pub name: &'static str,
+    /// `Ok(summary)` or `Err(rendered error)`.
+    pub outcome: Result<String, String>,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Cells served from cache.
+    pub cached_cells: usize,
+    /// Cells computed.
+    pub computed_cells: usize,
+}
+
+/// Runs `experiments` in order, isolating failures: an `Err` — or even a
+/// panic — in one experiment is recorded and the next still runs. Each
+/// experiment gets a manifest at `MANIFEST_<name>.json` recording its
+/// config, cache accounting, and wall time.
+pub fn run_experiments(experiments: &[Box<dyn Experiment>], cfg: &RunConfig) -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    for exp in experiments {
+        let name = exp.name();
+        let ctx = RunContext::new(name, cfg);
+        ctx.note(&format!("start: {}", exp.describe()));
+        let started = Instant::now();
+        let outcome = match catch_unwind(AssertUnwindSafe(|| exp.run(cfg, &ctx))) {
+            Ok(Ok(output)) => Ok(output.summary),
+            Ok(Err(e)) => Err(e.to_string()),
+            Err(panic) => Err(format!("panicked: {}", panic_message(&panic))),
+        };
+        let wall_s = started.elapsed().as_secs_f64();
+        let manifest = Manifest {
+            experiment: name.to_string(),
+            config_json: cfg.to_json(),
+            cached_cells: ctx.cached_cells(),
+            computed_cells: ctx.computed_cells(),
+            failed_cells: ctx.failed_cells(),
+            wall_s,
+            completed: outcome.is_ok(),
+        };
+        match &outcome {
+            Ok(summary) => ctx.note(&format!("done in {wall_s:.1}s: {summary}")),
+            Err(e) => ctx.cell_failed(&format!("experiment failed after {wall_s:.1}s: {e}")),
+        }
+        if let Err(e) = std::fs::create_dir_all(&cfg.out_dir).and_then(|()| {
+            std::fs::write(Manifest::path_for(&cfg.out_dir, name), manifest.to_json())
+        }) {
+            ctx.note(&format!("manifest write failed: {e}"));
+        }
+        records.push(RunRecord {
+            name,
+            outcome,
+            wall_s,
+            cached_cells: manifest.cached_cells,
+            computed_cells: manifest.computed_cells,
+        });
+    }
+    records
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_complete() {
+        let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate experiment names");
+        assert_eq!(names.len(), 12);
+        for required in [
+            "table1",
+            "table3",
+            "table4",
+            "table5",
+            "fig1",
+            "fig5",
+            "fig6",
+            "overhead",
+            "scan_defense",
+            "corruptibility",
+            "key_redundancy",
+            "lut_scaling",
+        ] {
+            assert!(names.contains(&required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn cell_payload_round_trips_bare() {
+        let outcome = CellOutcome::bare("n/a");
+        let parsed = parse_cell_payload(&cell_payload(&outcome)).unwrap();
+        assert_eq!(parsed.cell, "n/a");
+        assert!(parsed.report.is_none());
+    }
+
+    #[test]
+    fn failing_experiment_does_not_stop_the_run() {
+        struct Boom;
+        impl Experiment for Boom {
+            fn name(&self) -> &'static str {
+                "boom"
+            }
+            fn describe(&self) -> &'static str {
+                "always fails"
+            }
+            fn run(
+                &self,
+                _cfg: &RunConfig,
+                _ctx: &RunContext,
+            ) -> Result<ExperimentOutput, ExperimentError> {
+                Err("intentional".into())
+            }
+        }
+        struct Panics;
+        impl Experiment for Panics {
+            fn name(&self) -> &'static str {
+                "panics"
+            }
+            fn describe(&self) -> &'static str {
+                "always panics"
+            }
+            fn run(
+                &self,
+                _cfg: &RunConfig,
+                _ctx: &RunContext,
+            ) -> Result<ExperimentOutput, ExperimentError> {
+                panic!("kaboom")
+            }
+        }
+        struct Fine;
+        impl Experiment for Fine {
+            fn name(&self) -> &'static str {
+                "fine"
+            }
+            fn describe(&self) -> &'static str {
+                "succeeds"
+            }
+            fn run(
+                &self,
+                _cfg: &RunConfig,
+                _ctx: &RunContext,
+            ) -> Result<ExperimentOutput, ExperimentError> {
+                Ok(ExperimentOutput::summary("ok"))
+            }
+        }
+        let dir = std::env::temp_dir().join(format!("ril_run_isolation_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = RunConfig {
+            out_dir: dir.clone(),
+            ..RunConfig::default()
+        };
+        let exps: Vec<Box<dyn Experiment>> = vec![Box::new(Boom), Box::new(Panics), Box::new(Fine)];
+        let records = run_experiments(&exps, &cfg);
+        assert_eq!(records.len(), 3);
+        assert!(records[0].outcome.is_err());
+        assert!(records[1].outcome.as_ref().unwrap_err().contains("kaboom"));
+        assert_eq!(records[2].outcome.as_deref(), Ok("ok"));
+        // Every experiment — failed or not — left a manifest.
+        for name in ["boom", "panics", "fine"] {
+            let text = std::fs::read_to_string(Manifest::path_for(&dir, name)).unwrap();
+            let m = Manifest::from_json(&text).unwrap();
+            assert_eq!(m.completed, name == "fine");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,88 @@
+//! Output-corruptibility comparison (Sections I / III-A): RIL-Blocks
+//! corrupt many outputs under wrong keys, while one-point-function locks
+//! (Anti-SAT/SFLL-class) leave the circuit almost fully functional — the
+//! corruptibility/SAT-resistance trade-off the paper escapes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ril_core::baselines::{antisat_lock, sfll_lock, xor_lock};
+use ril_core::metrics::output_corruptibility;
+use ril_core::{LockedCircuit, Obfuscator, RilBlockSpec};
+use ril_netlist::generators;
+
+use crate::experiment::{Experiment, ExperimentError, ExperimentOutput, RunContext};
+use crate::{print_table, RunConfig};
+
+/// The output-corruptibility comparison.
+pub struct Corruptibility;
+
+impl Experiment for Corruptibility {
+    fn name(&self) -> &'static str {
+        "corruptibility"
+    }
+
+    fn describe(&self) -> &'static str {
+        "output corruption under wrong keys: RIL vs point-function locks"
+    }
+
+    fn run(
+        &self,
+        _cfg: &RunConfig,
+        _ctx: &RunContext,
+    ) -> Result<ExperimentOutput, ExperimentError> {
+        let host = generators::multiplier(6);
+        println!(
+            "Output corruptibility under random wrong keys — host `{}` ({} gates)",
+            host.name(),
+            host.gate_count()
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut rows = Vec::new();
+        let mut measure = |name: &str, locked: &LockedCircuit| -> Result<(), ExperimentError> {
+            let c = output_corruptibility(locked, 16, 8, &mut rng)?;
+            rows.push(vec![
+                name.to_string(),
+                locked.key_width().to_string(),
+                format!("{:.3} %", c * 100.0),
+            ]);
+            Ok(())
+        };
+
+        measure(
+            "RIL 1 × 8x8x8",
+            &Obfuscator::new(RilBlockSpec::size_8x8x8())
+                .seed(1)
+                .obfuscate(&host)?,
+        )?;
+        measure(
+            "RIL 3 × 8x8x8",
+            &Obfuscator::new(RilBlockSpec::size_8x8x8())
+                .blocks(3)
+                .seed(2)
+                .obfuscate(&host)?,
+        )?;
+        measure(
+            "RIL 10 × 2x2",
+            &Obfuscator::new(RilBlockSpec::size_2x2())
+                .blocks(10)
+                .seed(3)
+                .obfuscate(&host)?,
+        )?;
+        measure("XOR (EPIC) 24 bits", &xor_lock(&host, 24, 4)?)?;
+        measure("Anti-SAT 10 bits", &antisat_lock(&host, 10, 5)?)?;
+        measure("SFLL 10 bits", &sfll_lock(&host, 10, 6)?)?;
+
+        let n = rows.len();
+        print_table(
+            "Mean corrupted output-bit fraction (16 wrong keys × 512 patterns)",
+            &["Scheme", "Key bits", "Corruption"],
+            &rows,
+        );
+        println!(
+            "\nExpected shape (paper): RIL and XOR locks corrupt heavily; point-function\n\
+             locks (Anti-SAT/SFLL) corrupt ≈ 2^-n of patterns — SAT-resistant but\n\
+             nearly functional with the wrong key."
+        );
+        Ok(ExperimentOutput::summary(format!("{n} schemes measured")))
+    }
+}

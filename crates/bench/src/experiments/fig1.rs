@@ -1,0 +1,165 @@
+//! Fig. 1 / Section II-B motivation — the same polymorphic devices encoded
+//! two ways for SAT simulation:
+//!
+//! * **MESO form**: 8 candidate gates + a 7-MUX selection tree (15 nodes,
+//!   3 key bits per device) — the original formulation of \[9\];
+//! * **LUT-2 form**: the 3-MUX select tree (4 key bits per device).
+//!
+//! The LUT-2 re-encoding both shrinks the instance and (as the paper
+//! observes) lets the SAT attack finish dramatically faster than the
+//! timeout-prone MESO runs reported in \[9\].
+
+use ril_attacks::{sat_attack, Oracle, SatAttackConfig};
+use ril_core::key::{KeyBitKind, KeyStore};
+use ril_core::lut::{materialize_lut2, materialize_meso, meso_selector_for, MESO_FUNCTIONS};
+use ril_core::LockedCircuit;
+use ril_netlist::gate::truth_table_of;
+use ril_netlist::{generators, GateId, GateKind, Netlist};
+
+use crate::cache::CacheKey;
+use crate::experiment::{Experiment, ExperimentError, ExperimentOutput, RunContext};
+use crate::experiments::cached_outcome;
+use crate::{print_table, CellOutcome, RunConfig};
+
+/// The Fig. 1 encoding comparison.
+pub struct Fig1;
+
+/// Replaces `count` MESO-representable gates using either encoding.
+fn lock_with_encoding(
+    host: &Netlist,
+    count: usize,
+    meso: bool,
+) -> Result<LockedCircuit, ExperimentError> {
+    let mut nl = host.clone();
+    let mut keys = KeyStore::new();
+    let victims: Vec<GateId> = nl
+        .gates()
+        .filter(|(_, g)| {
+            g.inputs().len() == 2
+                && truth_table_of(g.kind())
+                    .map(|tt| MESO_FUNCTIONS.contains(&tt))
+                    .unwrap_or(false)
+        })
+        .map(|(id, _)| id)
+        .take(count)
+        .collect();
+    if victims.len() != count {
+        return Err(format!(
+            "host has only {} MESO-encodable gates, needed {count}",
+            victims.len()
+        )
+        .into());
+    }
+    for gid in victims {
+        let gate = nl.gate(gid);
+        let (a, b) = (gate.inputs()[0], gate.inputs()[1]);
+        let out = gate.output();
+        let tt = truth_table_of(gate.kind()).ok_or("victim gate lost its truth table")?;
+        nl.remove_gate(gid);
+        let new_out = if meso {
+            let sel = meso_selector_for(tt).ok_or("truth table is not a MESO function")?;
+            let mut knets = Vec::new();
+            for bit in 0..3 {
+                let net = nl.add_key_input(format!("keyinput{}", keys.len()))?;
+                keys.push(KeyBitKind::Baseline, (sel >> bit) & 1 == 1);
+                knets.push(net);
+            }
+            materialize_meso(&mut nl, a, b, [knets[0], knets[1], knets[2]])?
+        } else {
+            let mut knets = Vec::new();
+            for bit in 0..4 {
+                let net = nl.add_key_input(format!("keyinput{}", keys.len()))?;
+                keys.push(KeyBitKind::Baseline, (tt >> bit) & 1 == 1);
+                knets.push(net);
+            }
+            materialize_lut2(&mut nl, a, b, [knets[0], knets[1], knets[2], knets[3]])?
+        };
+        nl.add_gate(GateKind::Buf, &[new_out], out)?;
+    }
+    Ok(LockedCircuit {
+        original: host.clone(),
+        netlist: nl,
+        keys,
+        spec: ril_core::RilBlockSpec::size_2x2(),
+        blocks: 0,
+        block_meta: Vec::new(),
+    })
+}
+
+fn encoding_cell(
+    host: &Netlist,
+    count: usize,
+    meso: bool,
+    cfg: &RunConfig,
+) -> Result<CellOutcome, ExperimentError> {
+    let locked = lock_with_encoding(host, count, meso)?;
+    locked.netlist.validate()?;
+    let mut oracle = Oracle::new(&locked)?;
+    let attack_cfg = SatAttackConfig {
+        timeout: Some(cfg.timeout),
+        ..SatAttackConfig::default()
+    };
+    let report = sat_attack(&locked.netlist, &mut oracle, &attack_cfg);
+    let extra_gates = locked.netlist.gate_count() - host.gate_count();
+    Ok(CellOutcome {
+        cell: format!("{} ({} extra gates)", report.table_cell(), extra_gates),
+        report: Some(report),
+    })
+}
+
+impl Experiment for Fig1 {
+    fn name(&self) -> &'static str {
+        "fig1"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Fig. 1 — SAT runtimes: MESO encoding vs LUT-2 re-encoding"
+    }
+
+    fn run(&self, cfg: &RunConfig, ctx: &RunContext) -> Result<ExperimentOutput, ExperimentError> {
+        let host = generators::benchmark("c7552").ok_or("unknown benchmark c7552")?;
+        println!(
+            "Fig. 1 reproduction — host `{}`, timeout {:?}",
+            host.name(),
+            cfg.timeout
+        );
+        let counts: &[usize] = if cfg.smoke { &[4, 8] } else { &[4, 8, 16, 32] };
+        let mut rows = Vec::new();
+        for &count in counts {
+            let mut row = vec![count.to_string()];
+            for meso in [true, false] {
+                let key = CacheKey::new("attack")
+                    .field("kind", "fig1_encoding")
+                    .field("bench", "c7552")
+                    .field("devices", count)
+                    .field("meso", meso)
+                    .field("timeout_s", cfg.timeout.as_secs());
+                let label = format!("{count} devices, {}", if meso { "MESO" } else { "LUT-2" });
+                let outcome =
+                    cached_outcome(ctx, &key, &label, || encoding_cell(&host, count, meso, cfg))?;
+                row.push(outcome.cell);
+            }
+            rows.push(row);
+            ctx.note(&format!("{count} devices done"));
+        }
+        print_table(
+            "Fig. 1 — SAT-attack seconds per encoding",
+            &[
+                "Devices",
+                "MESO form (8 gates + 7 MUX)",
+                "LUT-2 form (3 MUX)",
+            ],
+            &rows,
+        );
+        println!(
+            "\nKey-space note: a 2-input LUT covers all 16 functions (Table II) with 4\n\
+             key bits, vs the MESO device's 8 functions with 3 bits — yet its SAT\n\
+             encoding is 5× smaller (3 nodes vs 15), which is what erases the\n\
+             MESO formulation's apparent SAT-hardness."
+        );
+        Ok(ExperimentOutput::summary(format!(
+            "{} device counts × 2 encodings attacked",
+            counts.len()
+        )))
+    }
+}

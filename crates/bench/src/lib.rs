@@ -1,8 +1,10 @@
-//! # ril-bench — experiment harness
+//! # ril-bench — experiment framework
 //!
-//! One binary per table/figure of the paper (see DESIGN.md §4):
+//! Every table and figure of the paper is an [`Experiment`] registered
+//! with the framework and driven by the single `ril-bench` binary
+//! (see DESIGN.md §8):
 //!
-//! | target | regenerates |
+//! | experiment | regenerates |
 //! |---|---|
 //! | `table1` | Table I — SAT seconds vs RIL-Block count/size on c7552 |
 //! | `table3` | Table III — ISCAS/CEP benchmarks, 8×8×8 blocks, AppSAT ✗ |
@@ -14,15 +16,32 @@
 //! | `overhead` | §III-A overhead comparison |
 //! | `scan_defense` | §III-C / IV-C Scan-Enable defense demonstration |
 //! | `corruptibility` | output-corruption comparison vs point functions |
+//! | `key_redundancy` | §III-A switch-box key-redundancy comparison |
+//! | `lut_scaling` | §IV-B LUT-size / block-width scaling ablation |
 //!
-//! Shared knobs: `RIL_TIMEOUT_SECS` (attack budget per cell, default 60),
-//! `RIL_TABLE1_FULL=1` (full 10-row Table I sweep).
+//! `ril-bench list` prints the registry; `ril-bench run <names…>` (or
+//! `--all`, `--smoke`) executes experiments with a typed, validated
+//! [`RunConfig`] (env knobs `RIL_TIMEOUT_SECS`, `RIL_THREADS`,
+//! `RIL_OUT_DIR`, `RIL_TABLE1_FULL`, `RIL_MC_INSTANCES` are parsed
+//! once, there), a content-addressed cell cache that makes interrupted
+//! sweeps resumable, per-run manifests, and a JSONL event stream.
 
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod config;
+pub mod events;
+pub mod experiment;
+pub mod experiments;
 pub mod sweep;
 
-pub use sweep::{parallel_sweep, sweep_threads};
+pub use cache::{CacheKey, CellCache, Manifest, CACHE_VERSION};
+pub use config::{ConfigError, RunConfig};
+pub use events::{EventKind, EventSink};
+pub use experiment::{
+    registry, run_experiments, Experiment, ExperimentError, ExperimentOutput, RunContext,
+};
+pub use sweep::{parallel_sweep, parallel_sweep_with, sweep_threads};
 
 use ril_attacks::{run_sat_attack, AttackReport, AttackResult, SatAttackConfig};
 use ril_core::{LockedCircuit, Obfuscator, RilBlockSpec};
@@ -110,6 +129,19 @@ pub fn attack_cell_report(
     blocks: usize,
     seed: u64,
 ) -> CellOutcome {
+    attack_cell_report_with(host, spec, blocks, seed, cell_timeout())
+}
+
+/// [`attack_cell_report`] with an explicit attack budget — the experiment
+/// framework passes `RunConfig::timeout` here instead of re-reading the
+/// environment per cell.
+pub fn attack_cell_report_with(
+    host: &Netlist,
+    spec: RilBlockSpec,
+    blocks: usize,
+    seed: u64,
+    timeout: Duration,
+) -> CellOutcome {
     match Obfuscator::new(spec)
         .blocks(blocks)
         .seed(seed)
@@ -118,7 +150,7 @@ pub fn attack_cell_report(
         Err(_) => CellOutcome::bare("n/a"),
         Ok(locked) => {
             let cfg = SatAttackConfig {
-                timeout: Some(cell_timeout()),
+                timeout: Some(timeout),
                 ..SatAttackConfig::default()
             };
             match run_sat_attack(&locked, &cfg) {

@@ -43,8 +43,24 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    parallel_sweep_with(sweep_threads(), items, job)
+}
+
+/// [`parallel_sweep`] with an explicit worker count — the experiment
+/// framework passes `RunConfig::threads` here instead of re-reading the
+/// environment per sweep.
+///
+/// # Panics
+///
+/// Propagates a panicking job once all workers are joined.
+pub fn parallel_sweep_with<T, R, F>(workers: usize, items: &[T], job: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
-    let workers = sweep_threads().min(n.max(1));
+    let workers = workers.max(1).min(n.max(1));
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
@@ -99,6 +115,16 @@ mod tests {
         });
         assert_eq!(out.len(), 257);
         assert_eq!(hits.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn explicit_worker_count_is_honored() {
+        let items: Vec<usize> = (0..16).collect();
+        let out = parallel_sweep_with(3, &items, |_, &x| x + 1);
+        assert_eq!(out, (1..=16).collect::<Vec<_>>());
+        // Degenerate worker counts are clamped, not panicked on.
+        let out = parallel_sweep_with(0, &items[..2], |_, &x| x);
+        assert_eq!(out, vec![0, 1]);
     }
 
     #[test]

@@ -88,6 +88,14 @@ impl RilBlockSpec {
         (self.width / 2).max(1)
     }
 
+    /// A canonical, collision-free textual form for content-addressed
+    /// cache keys: the [`fmt::Display`] shape plus the Scan-Enable flag
+    /// (`"8x8x8+se"`). `Display` alone matches the paper's notation and
+    /// drops the scan flag, which changes the key logic entirely.
+    pub fn cache_token(&self) -> String {
+        format!("{}{}", self, if self.scan_obfuscation { "+se" } else { "" })
+    }
+
     /// Total key bits per block.
     pub fn keys_per_block(&self) -> usize {
         let input_net = BanyanNetwork::new(self.width).num_keys();

@@ -235,6 +235,7 @@ impl LockedCircuit {
             timeout,
             ignore_inputs: ignore,
             fixed_inputs: fixed,
+            ..ril_sat::EquivOptions::default()
         };
         ril_sat::EquivSession::new(&self.original, &self.netlist, &options)
     }

@@ -70,6 +70,12 @@ pub struct EquivOptions {
     /// Per-input fixed values (by name), e.g. `SE = 0` for functional-mode
     /// checks of scan-obfuscated designs.
     pub fixed_inputs: Vec<(String, bool)>,
+    /// Pair outputs by position instead of by name. Netlist surgery
+    /// (removal/bypass, resynthesis) often re-drives an output from a net
+    /// with a different name while preserving output order; positional
+    /// matching lets such circuits still be checked. Output *counts* must
+    /// agree.
+    pub match_outputs_by_position: bool,
 }
 
 /// A miter encoded once into a persistent [`Session`], for *repeated*
@@ -148,29 +154,45 @@ impl EquivSession {
         right: &Netlist,
         options: &EquivOptions,
     ) -> Result<EquivSession, EquivError> {
-        // --- Match outputs by name ---------------------------------------
-        let mut right_outputs: HashMap<&str, NetId> = right
-            .outputs()
-            .iter()
-            .map(|&o| (right.net(o).name(), o))
-            .collect();
-        let mut out_pairs: Vec<(NetId, NetId)> = Vec::new();
-        for &o in left.outputs() {
-            let name = left.net(o).name();
-            match right_outputs.remove(name) {
-                Some(ro) => out_pairs.push((o, ro)),
-                None => {
-                    return Err(EquivError::PortMismatch(format!(
-                        "output `{name}` missing on the right"
-                    )))
+        // --- Match outputs (by name, or by position on request) ----------
+        let out_pairs: Vec<(NetId, NetId)> = if options.match_outputs_by_position {
+            if left.outputs().len() != right.outputs().len() {
+                return Err(EquivError::PortMismatch(format!(
+                    "output counts differ: {} vs {}",
+                    left.outputs().len(),
+                    right.outputs().len()
+                )));
+            }
+            left.outputs()
+                .iter()
+                .copied()
+                .zip(right.outputs().iter().copied())
+                .collect()
+        } else {
+            let mut right_outputs: HashMap<&str, NetId> = right
+                .outputs()
+                .iter()
+                .map(|&o| (right.net(o).name(), o))
+                .collect();
+            let mut pairs: Vec<(NetId, NetId)> = Vec::new();
+            for &o in left.outputs() {
+                let name = left.net(o).name();
+                match right_outputs.remove(name) {
+                    Some(ro) => pairs.push((o, ro)),
+                    None => {
+                        return Err(EquivError::PortMismatch(format!(
+                            "output `{name}` missing on the right"
+                        )))
+                    }
                 }
             }
-        }
-        if let Some((name, _)) = right_outputs.into_iter().next() {
-            return Err(EquivError::PortMismatch(format!(
-                "output `{name}` missing on the left"
-            )));
-        }
+            if let Some((name, _)) = right_outputs.into_iter().next() {
+                return Err(EquivError::PortMismatch(format!(
+                    "output `{name}` missing on the left"
+                )));
+            }
+            pairs
+        };
 
         // --- Match inputs by name ----------------------------------------
         let fixed: HashMap<&str, bool> = options

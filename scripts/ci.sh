@@ -15,4 +15,10 @@ cargo fmt --all --check
 echo "== clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== experiment smoke (ril-bench run --all --smoke) =="
+RIL_OUT_DIR=exp_out/ci_smoke cargo run --release -q -p ril-bench --bin ril-bench -- \
+  run --all --smoke >exp_out/ci_smoke.log 2>&1 \
+  || { tail -50 exp_out/ci_smoke.log; exit 1; }
+tail -15 exp_out/ci_smoke.log
+
 echo "ci.sh: all green"

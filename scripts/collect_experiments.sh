@@ -2,30 +2,26 @@
 # Regenerates every table/figure of the paper and collects the outputs under
 # exp_out/. EXPERIMENTS.md embeds a captured run of this script.
 #
-# Budget knobs:
+# Budget knobs (validated by ril-bench; malformed values are errors):
 #   RIL_TIMEOUT_SECS   per-cell attack budget (default 60)
 #   RIL_TABLE1_FULL=1  full 10-row Table I sweep
+#   RIL_THREADS        sweep worker threads (default: all cores)
+#
+# Finished sweep cells are content-cached under exp_out/cache/, so an
+# interrupted collection resumes where it stopped; each experiment also
+# leaves MANIFEST_<name>.json and EVENTS_<name>.jsonl under exp_out/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p exp_out
 
-run() {
-  local name="$1"
-  shift
-  echo ">>> $name"
-  cargo run --release -q -p ril-bench --bin "$name" "$@" >"exp_out/$name.txt" 2>"exp_out/$name.err"
-}
-
 export RIL_TIMEOUT_SECS="${RIL_TIMEOUT_SECS:-60}"
-RIL_TABLE1_FULL="${RIL_TABLE1_FULL:-1}" run table1
-run table3
-run table4
-run table5
-run fig1
-run fig5
-run fig6
-run overhead
-run scan_defense
-run corruptibility
-run lut_scaling
+export RIL_TABLE1_FULL="${RIL_TABLE1_FULL:-1}"
+
+cargo build --release -q -p ril-bench --bin ril-bench
+RIL_BENCH=target/release/ril-bench
+
+for name in $("$RIL_BENCH" list | tail -n +2 | awk '{print $1}'); do
+  echo ">>> $name"
+  "$RIL_BENCH" run "$name" >"exp_out/$name.txt" 2>"exp_out/$name.err"
+done
 echo "all outputs in exp_out/"
