@@ -59,6 +59,18 @@ impl Default for AppSatConfig {
 ///
 /// Panics if the netlist has no key inputs or widths mismatch the oracle.
 pub fn appsat_attack(nl: &Netlist, oracle: &mut Oracle, cfg: &AppSatConfig) -> AttackReport {
+    let mut span = ril_trace::span("appsat", ril_trace::Phase::Attack);
+    let report = appsat_attack_inner(nl, oracle, cfg);
+    if span.is_active() {
+        span.record_str("result", report.result.kind());
+        span.record_u64("iterations", report.iterations as u64);
+        span.record_u64("oracle_queries", report.oracle_queries);
+        ril_trace::counter("attack.runs", 1);
+    }
+    report
+}
+
+fn appsat_attack_inner(nl: &Netlist, oracle: &mut Oracle, cfg: &AppSatConfig) -> AttackReport {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut sess = AttackSession::new(
         nl,
@@ -101,6 +113,7 @@ pub fn appsat_attack(nl: &Netlist, oracle: &mut Oracle, cfg: &AppSatConfig) -> A
         // Periodic error estimation with random-query reinforcement,
         // against the warm finder session (no rebuild per candidate).
         if sess.iterations.is_multiple_of(cfg.rounds_per_estimate) {
+            let _est = ril_trace::span("estimate_error", ril_trace::Phase::Verify);
             let candidate = match sess.extract_key() {
                 Ok(Some(key)) => key,
                 Ok(None) => {
@@ -164,6 +177,7 @@ pub fn run_appsat(
     let mut oracle = Oracle::new(locked)?;
     let mut report = appsat_attack(&view, &mut oracle, cfg);
     if let Some(key) = report.result.key() {
+        let _v = ril_trace::span("verify_key", ril_trace::Phase::Verify);
         let ok = locked.equivalent_under_key(key, 32)?;
         report.functionally_correct = Some(ok);
     }

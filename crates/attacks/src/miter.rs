@@ -64,6 +64,7 @@ impl AttackInstance {
         solver_config: SolverConfig,
         one_hot_meta: Option<&LockedCircuit>,
     ) -> AttackInstance {
+        let mut span = ril_trace::span("encode_miter", ril_trace::Phase::Encode);
         assert!(!nl.key_inputs().is_empty(), "netlist carries no key inputs");
         let data_inputs = nl.data_inputs();
         let key_inputs: Vec<NetId> = nl.key_inputs().to_vec();
@@ -183,6 +184,11 @@ impl AttackInstance {
         let finder = Session::from_cnf_with_config(&finder_cnf, solver_config);
         miter_cnf.clear_clauses();
         finder_cnf.clear_clauses();
+        if span.is_active() {
+            span.record_u64("key_bits", key_inputs.len() as u64);
+            span.record_u64("miter_vars", miter.num_vars() as u64);
+            span.record_u64("dependent_gates", dependent_gates.len() as u64);
+        }
         AttackInstance {
             miter,
             finder,
@@ -228,6 +234,7 @@ impl AttackInstance {
         dip_full: &[bool],
         response: &[bool],
     ) -> Result<(), ()> {
+        let _span = ril_trace::span("encode_dip", ril_trace::Phase::Encode);
         // Baseline simulation with keys = 0: key-independent nets get their
         // true value.
         let data_words: Vec<u64> = dip_full

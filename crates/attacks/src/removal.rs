@@ -62,6 +62,22 @@ pub fn removal_attack(
     patterns: usize,
     seed: u64,
 ) -> Result<RemovalReport, NetlistError> {
+    let mut span = ril_trace::span("removal", ril_trace::Phase::Attack);
+    let report = removal_attack_inner(locked, patterns, seed)?;
+    if span.is_active() {
+        span.record_u64("removed_gates", report.removed_gates as u64);
+        span.record_u64("bypassed", report.bypassed as u64);
+        span.record_f64("error_rate", report.error_rate);
+        ril_trace::counter("attack.runs", 1);
+    }
+    Ok(report)
+}
+
+fn removal_attack_inner(
+    locked: &LockedCircuit,
+    patterns: usize,
+    seed: u64,
+) -> Result<RemovalReport, NetlistError> {
     let mut nl = attacker_view(locked);
 
     // The key cone: every gate reachable from any key input.
@@ -106,7 +122,9 @@ pub fn removal_attack(
     nl.set_name(format!("{}_removed", locked.netlist.name()));
     ril_netlist::opt::optimize(&mut nl)?;
 
-    // Score against the true function.
+    // Score against the true function (sampled + exact): one
+    // `verify_salvage` span covers both checks.
+    let _v = ril_trace::span("verify_salvage", ril_trace::Phase::Verify);
     let mut sim_true = Simulator::new(&locked.original)?;
     let mut sim_rec = Simulator::new(&nl)?;
     let n_data_orig = locked.original.data_inputs().len();

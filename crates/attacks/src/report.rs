@@ -44,6 +44,18 @@ impl AttackResult {
             _ => None,
         }
     }
+
+    /// Stable machine-readable tag for this result variant — the `kind`
+    /// field of [`AttackReport::to_json`] and the `result` field on attack
+    /// trace spans.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AttackResult::ExactKey(_) => "exact_key",
+            AttackResult::ApproxKey { .. } => "approx_key",
+            AttackResult::Timeout => "timeout",
+            AttackResult::Failed(_) => "failed",
+        }
+    }
 }
 
 impl fmt::Display for AttackResult {
@@ -111,20 +123,21 @@ impl AttackReport {
     /// [`AttackReport::from_json`] parses it back — the bench crate's cell
     /// cache relies on this round trip.
     pub fn to_json(&self) -> String {
+        let kind = self.result.kind();
         let result = match &self.result {
             AttackResult::ExactKey(k) => format!(
-                r#"{{"kind":"exact_key","bits":{},"key":"{}"}}"#,
+                r#"{{"kind":"{kind}","bits":{},"key":"{}"}}"#,
                 k.len(),
                 key_string(k)
             ),
             AttackResult::ApproxKey { key, est_error } => format!(
-                r#"{{"kind":"approx_key","bits":{},"est_error":{est_error},"key":"{}"}}"#,
+                r#"{{"kind":"{kind}","bits":{},"est_error":{est_error},"key":"{}"}}"#,
                 key.len(),
                 key_string(key)
             ),
-            AttackResult::Timeout => r#"{"kind":"timeout"}"#.to_string(),
+            AttackResult::Timeout => format!(r#"{{"kind":"{kind}"}}"#),
             AttackResult::Failed(why) => {
-                format!(r#"{{"kind":"failed","why":"{}"}}"#, escape(why))
+                format!(r#"{{"kind":"{kind}","why":"{}"}}"#, escape(why))
             }
         };
         let iters: Vec<String> = self

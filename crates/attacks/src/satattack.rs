@@ -74,6 +74,23 @@ pub(crate) fn sat_attack_inner(
     cfg: &SatAttackConfig,
     one_hot_meta: Option<&LockedCircuit>,
 ) -> AttackReport {
+    let mut span = ril_trace::span("satattack", ril_trace::Phase::Attack);
+    let report = sat_attack_loop(nl, oracle, cfg, one_hot_meta);
+    if span.is_active() {
+        span.record_str("result", report.result.kind());
+        span.record_u64("iterations", report.iterations as u64);
+        span.record_u64("oracle_queries", report.oracle_queries);
+        ril_trace::counter("attack.runs", 1);
+    }
+    report
+}
+
+fn sat_attack_loop(
+    nl: &Netlist,
+    oracle: &mut Oracle,
+    cfg: &SatAttackConfig,
+    one_hot_meta: Option<&LockedCircuit>,
+) -> AttackReport {
     let mut sess = AttackSession::new(
         nl,
         oracle,
@@ -130,6 +147,7 @@ pub fn run_sat_attack(
     let meta = cfg.one_hot_routing.then_some(locked);
     let mut report = sat_attack_inner(&view, &mut oracle, cfg, meta);
     if let Some(key) = report.result.key() {
+        let _v = ril_trace::span("verify_key", ril_trace::Phase::Verify);
         let ok = locked.equivalent_under_key(key, 32)?;
         report.functionally_correct = Some(ok);
     }

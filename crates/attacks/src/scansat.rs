@@ -80,6 +80,21 @@ pub fn scansat_attack(
     locked: &LockedCircuit,
     cfg: &SatAttackConfig,
 ) -> Result<AttackReport, NetlistError> {
+    let mut span = ril_trace::span("scansat", ril_trace::Phase::Attack);
+    let report = scansat_attack_inner(locked, cfg)?;
+    if span.is_active() {
+        span.record_str("result", report.result.kind());
+        span.record_u64("iterations", report.iterations as u64);
+        span.record_u64("oracle_queries", report.oracle_queries);
+        ril_trace::counter("attack.runs", 1);
+    }
+    Ok(report)
+}
+
+fn scansat_attack_inner(
+    locked: &LockedCircuit,
+    cfg: &SatAttackConfig,
+) -> Result<AttackReport, NetlistError> {
     let mut view = attacker_view(locked);
     let real_key_width = view.key_inputs().len();
     // Hypothesis: scan responses are output-masked. Add mask key vars.
@@ -133,6 +148,7 @@ pub fn scansat_attack(
 
     // Truncate mask bits; ground-truth check on the real key.
     if let Some(key) = report.result.key() {
+        let _v = ril_trace::span("verify_key", ril_trace::Phase::Verify);
         let real: Vec<bool> = key[..real_key_width].to_vec();
         let ok = locked.equivalent_under_key(&real, 32)?;
         report.functionally_correct = Some(ok);

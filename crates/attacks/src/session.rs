@@ -84,8 +84,33 @@ impl<'a> AttackSession<'a> {
     }
 
     /// Runs one DIP iteration: budget check, miter solve on the warm
-    /// session, oracle query, constraint append.
+    /// session, oracle query, constraint append. Each iteration is an
+    /// `iteration` trace span carrying the miter size and the cumulative
+    /// DIP count (= I/O constraints pruning the key space so far).
     pub(crate) fn step(&mut self, oracle: &mut Oracle) -> DipStep {
+        let mut span = ril_trace::span("iteration", ril_trace::Phase::Iteration);
+        let step = self.step_inner(oracle);
+        if span.is_active() {
+            span.record_str(
+                "step",
+                match step {
+                    DipStep::Distinguished => "distinguished",
+                    DipStep::Converged => "converged",
+                    DipStep::Budget => "budget",
+                    DipStep::OracleInconsistent => "oracle_inconsistent",
+                },
+            );
+            span.record_u64("iteration", self.iterations as u64);
+            span.record_u64("dips_recorded", self.iterations as u64);
+            span.record_u64("miter_vars", self.inst.miter.num_vars() as u64);
+            if step == DipStep::Distinguished {
+                ril_trace::counter("attack.dips", 1);
+            }
+        }
+        step
+    }
+
+    fn step_inner(&mut self, oracle: &mut Oracle) -> DipStep {
         match self.remaining() {
             Some(left) if left.is_zero() => return DipStep::Budget,
             left => self.inst.miter.set_timeout(left),
@@ -99,7 +124,10 @@ impl<'a> AttackSession<'a> {
             Outcome::Sat => {
                 self.iterations += 1;
                 let dip_full = self.inst.dip_from_model();
-                let response = oracle.query(&self.inst.oracle_dip(&dip_full));
+                let response = {
+                    let _q = ril_trace::span("oracle_query", ril_trace::Phase::Other);
+                    oracle.query(&self.inst.oracle_dip(&dip_full))
+                };
                 match self.inst.add_dip(self.nl, &dip_full, &response) {
                     Ok(()) => DipStep::Distinguished,
                     Err(()) => DipStep::OracleInconsistent,

@@ -9,20 +9,28 @@
 //! ril-bench run --out-dir out table1  # override RIL_OUT_DIR
 //! ```
 //!
+//! ```text
+//! ril-bench trace exp_out             # per-phase time breakdown of a run
+//! ril-bench validate exp_out          # integrity-check run artifacts
+//! ```
+//!
 //! Environment knobs (`RIL_TIMEOUT_SECS`, `RIL_THREADS`, `RIL_OUT_DIR`,
-//! `RIL_TABLE1_FULL`, `RIL_MC_INSTANCES`) are parsed and validated once
-//! into a `RunConfig`; malformed values are hard errors, not silent
-//! defaults. Each experiment leaves `MANIFEST_<name>.json`, an
-//! `EVENTS_<name>.jsonl` stream, and content-addressed cell caches under
-//! the output directory, so interrupted sweeps resume where they stopped.
+//! `RIL_TABLE1_FULL`, `RIL_MC_INSTANCES`, `RIL_LOG`, `RIL_TRACE`) are
+//! parsed and validated once into a `RunConfig`; malformed values are
+//! hard errors, not silent defaults. Each experiment leaves
+//! `MANIFEST_<name>.json`, an `EVENTS_<name>.jsonl` stream, trace spans
+//! (`SPANS_<name>.jsonl` + Perfetto-loadable `TRACE_<name>.json`), and
+//! content-addressed cell caches under the output directory, so
+//! interrupted sweeps resume where they stopped.
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use ril_bench::experiment::{find, registry, run_experiments, Experiment};
-use ril_bench::RunConfig;
+use ril_bench::{trace_report, validate_run_dir, RunConfig};
 
 fn usage() -> &'static str {
-    "usage:\n  ril-bench list\n  ril-bench run [--all] [--smoke] [--no-cache] [--out-dir DIR] [NAME…]"
+    "usage:\n  ril-bench list\n  ril-bench run [--all] [--smoke] [--no-cache] [--out-dir DIR] [NAME…]\n  ril-bench trace <run-dir>\n  ril-bench validate <run-dir>"
 }
 
 fn main() -> ExitCode {
@@ -36,6 +44,8 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => run(&args[1..]),
+        Some("trace") => run_dir_command(&args[1..], "trace", trace_report),
+        Some("validate") => run_dir_command(&args[1..], "validate", validate_run_dir),
         Some(other) => {
             eprintln!("unknown command {other:?}\n{}", usage());
             ExitCode::from(2)
@@ -43,6 +53,30 @@ fn main() -> ExitCode {
         None => {
             eprintln!("{}", usage());
             ExitCode::from(2)
+        }
+    }
+}
+
+fn run_dir_command(
+    args: &[String],
+    verb: &str,
+    f: fn(&Path) -> Result<String, String>,
+) -> ExitCode {
+    let dir = match args {
+        [dir] if !dir.starts_with('-') => Path::new(dir),
+        _ => {
+            eprintln!("{verb} takes exactly one run directory\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match f(dir) {
+        Ok(summary) => {
+            println!("{verb} {}: {summary}", dir.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{verb} {} failed:\n{e}", dir.display());
+            ExitCode::FAILURE
         }
     }
 }

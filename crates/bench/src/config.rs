@@ -8,6 +8,7 @@
 //! run manifest so a result can always be traced to the knobs that
 //! produced it.
 
+use crate::events::LogLevel;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -33,6 +34,13 @@ pub struct RunConfig {
     /// Read/write the content-addressed cell cache (`--no-cache` turns
     /// this off; the cells are then always recomputed).
     pub use_cache: bool,
+    /// Stderr verbosity for the event mirror (`RIL_LOG`, default `note`).
+    /// The JSONL event file always records everything.
+    pub log_level: LogLevel,
+    /// Collect hierarchical trace spans and write `SPANS_*.jsonl` +
+    /// `TRACE_*.json` per experiment (`RIL_TRACE`, default on; `0`
+    /// disables for minimum overhead).
+    pub trace: bool,
 }
 
 /// A rejected environment variable.
@@ -66,6 +74,8 @@ impl Default for RunConfig {
             mc_instances: 100,
             smoke: false,
             use_cache: true,
+            log_level: LogLevel::Note,
+            trace: true,
         }
     }
 }
@@ -141,6 +151,26 @@ impl RunConfig {
             }
             cfg.mc_instances = n;
         }
+        if let Some(v) = read_env("RIL_LOG") {
+            cfg.log_level = LogLevel::parse(&v).ok_or(ConfigError {
+                var: "RIL_LOG",
+                value: v,
+                reason: "expected one of off, error, note, debug",
+            })?;
+        }
+        if let Some(v) = read_env("RIL_TRACE") {
+            cfg.trace = match v.as_str() {
+                "1" => true,
+                "0" => false,
+                _ => {
+                    return Err(ConfigError {
+                        var: "RIL_TRACE",
+                        value: v,
+                        reason: "expected 0 or 1",
+                    })
+                }
+            };
+        }
         Ok(cfg)
     }
 
@@ -158,7 +188,7 @@ impl RunConfig {
     /// The configuration as a JSON object, for manifests.
     pub fn to_json(&self) -> String {
         format!(
-            r#"{{"timeout_s":{},"threads":{},"out_dir":"{}","table1_full":{},"mc_instances":{},"smoke":{},"use_cache":{}}}"#,
+            r#"{{"timeout_s":{},"threads":{},"out_dir":"{}","table1_full":{},"mc_instances":{},"smoke":{},"use_cache":{},"log_level":"{}","trace":{}}}"#,
             self.timeout.as_secs_f64(),
             self.threads,
             ril_attacks::json::escape(&self.out_dir.display().to_string()),
@@ -166,6 +196,8 @@ impl RunConfig {
             self.mc_instances,
             self.smoke,
             self.use_cache,
+            self.log_level.as_str(),
+            self.trace,
         )
     }
 }
@@ -221,5 +253,7 @@ mod tests {
         let v = ril_attacks::json::JsonValue::parse(&cfg.to_json()).unwrap();
         assert_eq!(v.get("timeout_s").unwrap().as_f64(), Some(60.0));
         assert_eq!(v.get("use_cache").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("log_level").unwrap().as_str(), Some("note"));
+        assert_eq!(v.get("trace").unwrap().as_bool(), Some(true));
     }
 }

@@ -14,7 +14,6 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use ril_attacks::json::{escape, JsonValue};
@@ -126,27 +125,40 @@ pub trait Experiment: Sync {
 }
 
 /// Shared run services handed to each experiment: the JSONL event sink,
-/// the content-addressed cell cache, and cell accounting. All methods take
-/// `&self` (interior mutability) so sweep cells can use the context from
-/// parallel worker threads.
+/// the content-addressed cell cache, the run's [`ril_trace::Tracer`], and
+/// cell accounting. All methods take `&self` (interior mutability) so
+/// sweep cells can use the context from parallel worker threads.
 pub struct RunContext {
     experiment: String,
-    events: Mutex<EventSink>,
+    events: EventSink,
     cache: CellCache,
     out_dir: PathBuf,
+    trace: ril_trace::Tracer,
+    root_span: ril_trace::SpanId,
     cached: AtomicUsize,
     computed: AtomicUsize,
     failed: AtomicUsize,
 }
 
 impl RunContext {
-    /// A context for `experiment` rooted at `cfg.out_dir`.
+    /// A context for `experiment` rooted at `cfg.out_dir`. When
+    /// `cfg.trace` is set the context owns an enabled tracer with an open
+    /// `experiment` root span; [`RunContext::finish_trace`] closes it and
+    /// writes the span log and Chrome trace next to the tables.
     pub fn new(experiment: &str, cfg: &RunConfig) -> RunContext {
+        let trace = if cfg.trace {
+            ril_trace::Tracer::new()
+        } else {
+            ril_trace::Tracer::disabled()
+        };
+        let root_span = trace.open_root("experiment", ril_trace::Phase::Experiment);
         RunContext {
             experiment: experiment.to_string(),
-            events: Mutex::new(EventSink::open(&cfg.out_dir, experiment)),
+            events: EventSink::open_with_level(&cfg.out_dir, experiment, cfg.log_level),
             cache: CellCache::new(&cfg.out_dir, cfg.use_cache),
             out_dir: cfg.out_dir.clone(),
+            trace,
+            root_span,
             cached: AtomicUsize::new(0),
             computed: AtomicUsize::new(0),
             failed: AtomicUsize::new(0),
@@ -158,24 +170,83 @@ impl RunContext {
         let dir = std::env::temp_dir().join(format!("ril_null_ctx_{}", std::process::id()));
         RunContext {
             experiment: experiment.to_string(),
-            events: Mutex::new(EventSink::null()),
+            events: EventSink::null(),
             cache: CellCache::new(&dir, false),
             out_dir: dir,
+            trace: ril_trace::Tracer::disabled(),
+            root_span: ril_trace::SpanId::NONE,
             cached: AtomicUsize::new(0),
             computed: AtomicUsize::new(0),
             failed: AtomicUsize::new(0),
         }
     }
 
+    /// The run's tracer (disabled when `RIL_TRACE=0`).
+    pub fn trace(&self) -> &ril_trace::Tracer {
+        &self.trace
+    }
+
+    /// The experiment's root span, parent for sweep-worker spans.
+    pub fn root_span(&self) -> ril_trace::SpanId {
+        self.root_span
+    }
+
+    /// Runs `job` over `items` on `workers` threads with this run's trace
+    /// context installed on every worker, so cell/attack/solve spans
+    /// opened inside the job attach under the experiment root span.
+    pub fn sweep<T, R, F>(&self, workers: usize, items: &[T], job: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        crate::sweep::parallel_sweep_traced(workers, &self.trace, self.root_span, items, job)
+    }
+
+    /// Closes the experiment root span and writes the run's trace
+    /// artifacts (`SPANS_<experiment>.jsonl` and `TRACE_<experiment>.json`)
+    /// into the output directory. No-op (empty list) when tracing is
+    /// disabled. Call once, after the experiment finishes (including
+    /// after a panic — the driver does this).
+    pub fn finish_trace(&self) -> Vec<PathBuf> {
+        if !self.trace.is_enabled() {
+            return Vec::new();
+        }
+        self.trace.close_with(
+            self.root_span,
+            vec![(
+                "experiment",
+                ril_trace::FieldValue::Str(self.experiment.clone()),
+            )],
+        );
+        let spans = self
+            .out_dir
+            .join(format!("SPANS_{}.jsonl", self.experiment));
+        let chrome = self.out_dir.join(format!("TRACE_{}.json", self.experiment));
+        let mut written = Vec::new();
+        let _ = std::fs::create_dir_all(&self.out_dir);
+        match self.trace.write_spans_jsonl(&spans) {
+            Ok(()) => written.push(spans),
+            Err(e) => self.events.error(&format!("span log write failed: {e}")),
+        }
+        match self.trace.write_chrome_trace(&chrome) {
+            Ok(()) => written.push(chrome),
+            Err(e) => self
+                .events
+                .error(&format!("chrome trace write failed: {e}")),
+        }
+        written
+    }
+
     /// Emits a `Note` event.
     pub fn note(&self, message: &str) {
-        self.events.lock().expect("event sink").note(message);
+        self.events.note(message);
     }
 
     /// Emits an `Error` event and bumps the failed-cell count.
     pub fn cell_failed(&self, message: &str) {
         self.failed.fetch_add(1, Ordering::Relaxed);
-        self.events.lock().expect("event sink").error(message);
+        self.events.error(message);
     }
 
     /// Runs one cacheable cell: returns the cached payload when `key` is
@@ -198,15 +269,15 @@ impl RunContext {
     where
         F: FnOnce() -> Result<String, ExperimentError>,
     {
+        let mut span = ril_trace::span("cell", ril_trace::Phase::Cell);
+        span.record_str("label", label);
         if let Some(payload) = self.cache.get(key) {
             self.cached.fetch_add(1, Ordering::Relaxed);
-            self.events.lock().expect("event sink").emit(
-                EventKind::Cell,
-                label,
-                r#""cached":true"#,
-            );
+            span.record_bool("cached", true);
+            self.events.emit(EventKind::Cell, label, r#""cached":true"#);
             return Ok(payload);
         }
+        span.record_bool("cached", false);
         let started = Instant::now();
         let payload = compute().inspect_err(|e| {
             self.cell_failed(&format!("{label}: {e}"));
@@ -214,12 +285,10 @@ impl RunContext {
         let wall = started.elapsed().as_secs_f64();
         if let Err(e) = self.cache.put(key, &payload) {
             self.events
-                .lock()
-                .expect("event sink")
                 .error(&format!("cache store failed for {label}: {e}"));
         }
         self.computed.fetch_add(1, Ordering::Relaxed);
-        self.events.lock().expect("event sink").emit(
+        self.events.emit(
             EventKind::Cell,
             label,
             &format!(r#""cached":false,"wall_s":{wall:.3}"#),
@@ -341,12 +410,20 @@ pub fn run_experiments(experiments: &[Box<dyn Experiment>], cfg: &RunConfig) -> 
         let ctx = RunContext::new(name, cfg);
         ctx.note(&format!("start: {}", exp.describe()));
         let started = Instant::now();
-        let outcome = match catch_unwind(AssertUnwindSafe(|| exp.run(cfg, &ctx))) {
+        let outcome = match catch_unwind(AssertUnwindSafe(|| {
+            // Spans opened by the experiment (and by the solver/attack
+            // layers underneath it) attach to this run's root span. The
+            // guard drops on unwind, so a panicking experiment still
+            // leaves a balanced trace.
+            let _trace_ctx = ctx.trace().install(ctx.root_span());
+            exp.run(cfg, &ctx)
+        })) {
             Ok(Ok(output)) => Ok(output.summary),
             Ok(Err(e)) => Err(e.to_string()),
             Err(panic) => Err(format!("panicked: {}", panic_message(&panic))),
         };
         let wall_s = started.elapsed().as_secs_f64();
+        ctx.finish_trace();
         let manifest = Manifest {
             experiment: name.to_string(),
             config_json: cfg.to_json(),

@@ -25,17 +25,13 @@ impl Experiment for Corruptibility {
         "output corruption under wrong keys: RIL vs point-function locks"
     }
 
-    fn run(
-        &self,
-        _cfg: &RunConfig,
-        _ctx: &RunContext,
-    ) -> Result<ExperimentOutput, ExperimentError> {
+    fn run(&self, _cfg: &RunConfig, ctx: &RunContext) -> Result<ExperimentOutput, ExperimentError> {
         let host = generators::multiplier(6);
-        println!(
-            "Output corruptibility under random wrong keys — host `{}` ({} gates)",
+        ctx.note(&format!(
+            "output corruptibility under random wrong keys — host `{}` ({} gates)",
             host.name(),
             host.gate_count()
-        );
+        ));
         let mut rng = StdRng::seed_from_u64(7);
         let mut rows = Vec::new();
         let mut measure = |name: &str, locked: &LockedCircuit| -> Result<(), ExperimentError> {
@@ -78,10 +74,10 @@ impl Experiment for Corruptibility {
             &["Scheme", "Key bits", "Corruption"],
             &rows,
         );
-        println!(
-            "\nExpected shape (paper): RIL and XOR locks corrupt heavily; point-function\n\
-             locks (Anti-SAT/SFLL) corrupt ≈ 2^-n of patterns — SAT-resistant but\n\
-             nearly functional with the wrong key."
+        ctx.note(
+            "expected shape (paper): RIL and XOR locks corrupt heavily; point-function \
+             locks (Anti-SAT/SFLL) corrupt ≈ 2^-n of patterns — SAT-resistant but \
+             nearly functional with the wrong key",
         );
         Ok(ExperimentOutput::summary(format!("{n} schemes measured")))
     }

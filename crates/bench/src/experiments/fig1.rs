@@ -118,11 +118,11 @@ impl Experiment for Fig1 {
 
     fn run(&self, cfg: &RunConfig, ctx: &RunContext) -> Result<ExperimentOutput, ExperimentError> {
         let host = generators::benchmark("c7552").ok_or("unknown benchmark c7552")?;
-        println!(
+        ctx.note(&format!(
             "Fig. 1 reproduction — host `{}`, timeout {:?}",
             host.name(),
             cfg.timeout
-        );
+        ));
         let counts: &[usize] = if cfg.smoke { &[4, 8] } else { &[4, 8, 16, 32] };
         let mut rows = Vec::new();
         for &count in counts {
@@ -151,11 +151,11 @@ impl Experiment for Fig1 {
             ],
             &rows,
         );
-        println!(
-            "\nKey-space note: a 2-input LUT covers all 16 functions (Table II) with 4\n\
-             key bits, vs the MESO device's 8 functions with 3 bits — yet its SAT\n\
-             encoding is 5× smaller (3 nodes vs 15), which is what erases the\n\
-             MESO formulation's apparent SAT-hardness."
+        ctx.note(
+            "key-space note: a 2-input LUT covers all 16 functions (Table II) with 4 \
+             key bits, vs the MESO device's 8 functions with 3 bits — yet its SAT \
+             encoding is 5× smaller (3 nodes vs 15), which is what erases the \
+             MESO formulation's apparent SAT-hardness",
         );
         Ok(ExperimentOutput::summary(format!(
             "{} device counts × 2 encodings attacked",

@@ -28,12 +28,12 @@ impl Experiment for Fig5 {
         let schedule = TransientSim::figure5_schedule();
         let trace = sim.run(&mut lut, &schedule);
 
-        println!(
+        ctx.note(&format!(
             "Fig. 5 reproduction — {} schedule slots, {} samples at {} ns steps",
             schedule.len(),
             trace.time_ns.len(),
             sim.dt_ns
-        );
+        ));
         println!("\nPhases: [write AND][read 00,10,01,11][idle][write NOR][read ×4][idle][write SE][scan reads]\n");
         print!("{}", trace.to_ascii(100));
 
@@ -65,7 +65,7 @@ impl Experiment for Fig5 {
         );
 
         let path = ctx.write_output("fig5_waveforms.csv", &trace.to_csv())?;
-        println!("\nFull trace written to {}", path.display());
+        ctx.note(&format!("full trace written to {}", path.display()));
         Ok(ExperimentOutput {
             summary: format!("{} samples traced", trace.time_ns.len()),
             files: vec![path],

@@ -41,10 +41,12 @@ impl Experiment for Fig6 {
         "Fig. 6 — Monte-Carlo process-variation distributions of the MRAM LUT"
     }
 
-    fn run(&self, cfg: &RunConfig, _ctx: &RunContext) -> Result<ExperimentOutput, ExperimentError> {
+    fn run(&self, cfg: &RunConfig, ctx: &RunContext) -> Result<ExperimentOutput, ExperimentError> {
         let instances = cfg.mc_instances;
-        println!("Fig. 6 reproduction — {instances} MC instances, AND-programmed LUT");
-        println!("PV model (paper §IV-D): 1 % MTJ dims, 10 % Vth, 1 % MOS dims (1σ)\n");
+        ctx.note(&format!(
+            "Fig. 6 reproduction — {instances} MC instances, AND-programmed LUT; \
+             PV model (paper §IV-D): 1 % MTJ dims, 10 % Vth, 1 % MOS dims (1σ)"
+        ));
         let report = run_monte_carlo(instances, 0b1000, 2026);
 
         let rows = vec![
@@ -69,19 +71,19 @@ impl Experiment for Fig6 {
         println!("{}", ascii_hist(&report.r_parallel, 8, 40));
         println!("{}", ascii_hist(&report.r_antiparallel, 8, 40));
 
-        println!(
-            "\nErrors: write {} / {} ({:.4} %), read {} / {} ({:.4} %)  — paper: < 0.01 %",
+        ctx.note(&format!(
+            "errors: write {} / {} ({:.4} %), read {} / {} ({:.4} %) — paper: < 0.01 %",
             report.write_errors,
             report.writes,
             report.write_error_rate() * 100.0,
             report.read_errors,
             report.reads,
             report.read_error_rate() * 100.0
-        );
-        println!(
-            "Read-power symmetry gap (P-SCA proxy): {:.4} %  — paper: \"almost identical\"",
+        ));
+        ctx.note(&format!(
+            "read-power symmetry gap (P-SCA proxy): {:.4} % — paper: \"almost identical\"",
             report.power_symmetry_gap() * 100.0
-        );
+        ));
         Ok(ExperimentOutput::summary(format!(
             "{instances} instances, read-error rate {:.4} %",
             report.read_error_rate() * 100.0

@@ -22,13 +22,13 @@ impl Experiment for KeyRedundancy {
         "§III-A: correct-key counts in RIL vs FullLock routing boxes"
     }
 
-    fn run(&self, cfg: &RunConfig, _ctx: &RunContext) -> Result<ExperimentOutput, ExperimentError> {
+    fn run(&self, cfg: &RunConfig, ctx: &RunContext) -> Result<ExperimentOutput, ExperimentError> {
         let host = generators::adder(8);
-        println!(
-            "Key-redundancy comparison — host `{}` ({} gates), exhaustive key enumeration",
+        ctx.note(&format!(
+            "key-redundancy comparison — host `{}` ({} gates), exhaustive key enumeration",
             host.name(),
             host.gate_count()
-        );
+        ));
         let full_set = [(2usize, 3u64), (4, 5), (4, 11), (4, 23)];
         let configs: &[(usize, u64)] = if cfg.smoke { &full_set[..2] } else { &full_set };
         let mut rows = Vec::new();
@@ -65,10 +65,10 @@ impl Experiment for KeyRedundancy {
             ],
             &rows,
         );
-        println!(
-            "\nPaper claim (Section III-A): the FullLock inverter both doubles the MUX\n\
-             count and multiplies the number of correct keys (wrong inversions can be\n\
-             compensated downstream); the RIL box avoids both."
+        ctx.note(
+            "paper claim (Section III-A): the FullLock inverter both doubles the MUX \
+             count and multiplies the number of correct keys (wrong inversions can be \
+             compensated downstream); the RIL box avoids both",
         );
         Ok(ExperimentOutput::summary(format!(
             "{} switch-box configurations enumerated",

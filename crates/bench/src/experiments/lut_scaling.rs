@@ -35,11 +35,11 @@ impl Experiment for LutScaling {
 
     fn run(&self, cfg: &RunConfig, ctx: &RunContext) -> Result<ExperimentOutput, ExperimentError> {
         let host = generators::benchmark("c7552").ok_or("unknown benchmark c7552")?;
-        println!(
+        ctx.note(&format!(
             "LUT-size / block-width scaling — host `{}`, timeout {:?}",
             host.name(),
             cfg.timeout
-        );
+        ));
         let attack_cfg = SatAttackConfig {
             timeout: Some(cfg.timeout),
             ..SatAttackConfig::default()
@@ -130,10 +130,10 @@ impl Experiment for LutScaling {
             &["Config", "Key bits", "SAT time", "DIP iterations"],
             &rows,
         );
-        println!(
-            "\nExpected shape: both scalings grow the key search space per absorbed\n\
-             gate; the routing+LUT composition (RIL) grows hardness faster than key\n\
-             count alone (paper Section III-A)."
+        ctx.note(
+            "expected shape: both scalings grow the key search space per absorbed \
+             gate; the routing+LUT composition (RIL) grows hardness faster than key \
+             count alone (paper Section III-A)",
         );
         Ok(ExperimentOutput::summary(format!(
             "{} LUT sizes + {} block widths attacked",

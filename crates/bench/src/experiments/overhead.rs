@@ -22,7 +22,7 @@ impl Experiment for Overhead {
         "§III-A overhead comparison: analytic model + measured gate counts"
     }
 
-    fn run(&self, cfg: &RunConfig, _ctx: &RunContext) -> Result<ExperimentOutput, ExperimentError> {
+    fn run(&self, cfg: &RunConfig, ctx: &RunContext) -> Result<ExperimentOutput, ExperimentError> {
         // Analytic model (host-independent).
         let configs = [
             (RilBlockSpec::size_2x2(), 75usize),
@@ -53,9 +53,9 @@ impl Experiment for Overhead {
         let small = ril_overhead(&RilBlockSpec::size_2x2(), 75);
         let big = ril_overhead(&RilBlockSpec::size_8x8x8(), 3);
         let mux_ratio = small.muxes as f64 / big.muxes as f64;
-        println!(
-            "\nMUX ratio 75×2x2 : 3×8x8x8 = {mux_ratio:.2}×  (paper claims ~3× lower for the large blocks)",
-        );
+        ctx.note(&format!(
+            "MUX ratio 75×2x2 : 3×8x8x8 = {mux_ratio:.2}× (paper claims ~3× lower for the large blocks)"
+        ));
 
         // Measured on the host (skipped under --smoke: the c7552-class
         // obfuscation is the only slow part of this experiment).

@@ -82,12 +82,12 @@ impl Experiment for ScanDefense {
 
     fn run(&self, cfg: &RunConfig, ctx: &RunContext) -> Result<ExperimentOutput, ExperimentError> {
         let host = generators::multiplier(6);
-        println!(
+        ctx.note(&format!(
             "Scan-Enable defense demo — host `{}` ({} gates), timeout {:?}",
             host.name(),
             host.gate_count(),
             cfg.timeout
-        );
+        ));
         let spec = RilBlockSpec::size_2x2();
         let plain = Obfuscator::new(spec).blocks(3).seed(21).obfuscate(&host)?;
         let armed = lock_with_armed_se(&host, spec, 3, 21)
@@ -117,12 +117,12 @@ impl Experiment for ScanDefense {
             &["Design", "SAT attack", "AppSAT", "ScanSAT model"],
             &rows,
         );
-        println!(
-            "\nWhy: with SE armed, asserting scan-enable flips the output of every LUT\n\
-             whose hidden MTJ_SE key is 1 — an OR LUT answers like a NOR (Section IV-C),\n\
-             and no key hypothesis is consistent with the corrupted responses once the\n\
-             inversions mix into wider cones. The IP owner, who knows the SE keys,\n\
-             tests the chip normally."
+        ctx.note(
+            "why: with SE armed, asserting scan-enable flips the output of every LUT \
+             whose hidden MTJ_SE key is 1 — an OR LUT answers like a NOR (Section IV-C), \
+             and no key hypothesis is consistent with the corrupted responses once the \
+             inversions mix into wider cones. The IP owner, who knows the SE keys, \
+             tests the chip normally",
         );
         Ok(ExperimentOutput::summary(format!(
             "6 attack cells; {broken} broke a defense"

@@ -12,7 +12,7 @@ use ril_netlist::generators;
 
 use crate::experiment::{Experiment, ExperimentError, ExperimentOutput, RunContext};
 use crate::experiments::cached_sat_cell;
-use crate::{parallel_sweep_with, print_table, CellOutcome, RunConfig};
+use crate::{print_table, CellOutcome, RunConfig};
 
 /// The Table I reproduction.
 pub struct Table1;
@@ -51,13 +51,13 @@ impl Experiment for Table1 {
 
     fn run(&self, cfg: &RunConfig, ctx: &RunContext) -> Result<ExperimentOutput, ExperimentError> {
         let host = generators::benchmark("c7552").ok_or("unknown benchmark c7552")?;
-        println!(
+        ctx.note(&format!(
             "Table I reproduction — host `{}` ({}), timeout {:?} (paper: 5 days on c7552), {} worker threads",
             host.name(),
             host.stats(),
             cfg.timeout,
             cfg.threads
-        );
+        ));
         let rows_wanted: Vec<usize> = if cfg.table1_full {
             PAPER.iter().map(|r| r.0).collect()
         } else if cfg.smoke {
@@ -77,7 +77,7 @@ impl Experiment for Table1 {
             .iter()
             .flat_map(|&count| (0..specs.len()).map(move |si| (count, si)))
             .collect();
-        let outcomes = parallel_sweep_with(cfg.threads, &cells, |_, &(count, si)| {
+        let outcomes = ctx.sweep(cfg.threads, &cells, |_, &(count, si)| {
             cached_sat_cell(
                 ctx,
                 &host,
@@ -124,11 +124,11 @@ impl Experiment for Table1 {
             json_cells.join(",")
         );
         let path = ctx.write_output("BENCH_table1.json", &json)?;
-        println!("\nPer-cell solver statistics: {}", path.display());
-        println!(
-            "\nShape check: larger/more blocks ⇒ slower attack; 8x8x8 rows reach ∞ first,\n\
-             matching the paper's ordering (absolute numbers differ: synthetic host,\n\
-             from-scratch CDCL solver, scaled timeout)."
+        ctx.note(&format!("per-cell solver statistics: {}", path.display()));
+        ctx.note(
+            "shape check: larger/more blocks ⇒ slower attack; 8x8x8 rows reach ∞ first, \
+             matching the paper's ordering (absolute numbers differ: synthetic host, \
+             from-scratch CDCL solver, scaled timeout)",
         );
         Ok(ExperimentOutput {
             summary: format!(

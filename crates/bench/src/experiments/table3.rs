@@ -15,9 +15,7 @@ use ril_netlist::generators;
 use crate::cache::CacheKey;
 use crate::experiment::{Experiment, ExperimentError, ExperimentOutput, RunContext};
 use crate::experiments::{cached_outcome, cached_sat_cell};
-use crate::{
-    defense_held, lock_with_armed_se, parallel_sweep_with, print_table, CellOutcome, RunConfig,
-};
+use crate::{defense_held, lock_with_armed_se, print_table, CellOutcome, RunConfig};
 
 /// The Table III reproduction.
 pub struct Table3;
@@ -95,10 +93,10 @@ impl Experiment for Table3 {
     }
 
     fn run(&self, cfg: &RunConfig, ctx: &RunContext) -> Result<ExperimentOutput, ExperimentError> {
-        println!(
+        ctx.note(&format!(
             "Table III reproduction — timeout {:?} per cell (paper: 5 days), {} worker threads",
             cfg.timeout, cfg.threads
-        );
+        ));
         let spec = RilBlockSpec::size_8x8x8();
         let paper_rows: &[PaperRow] = if cfg.smoke { &PAPER[..2] } else { PAPER };
 
@@ -111,7 +109,7 @@ impl Experiment for Table3 {
                 })
             })
             .collect();
-        let outcomes = parallel_sweep_with(cfg.threads, &cells, |_, cell| {
+        let outcomes = ctx.sweep(cfg.threads, &cells, |_, cell| {
             let outcome = match generators::benchmark(cell.bench) {
                 None => Ok(CellOutcome::bare(format!("unknown bench {}", cell.bench))),
                 Some(host) => {
@@ -176,7 +174,7 @@ impl Experiment for Table3 {
             json_cells.join(",")
         );
         let path = ctx.write_output("BENCH_table3.json", &json)?;
-        println!("\nPer-cell solver statistics: {}", path.display());
+        ctx.note(&format!("per-cell solver statistics: {}", path.display()));
         Ok(ExperimentOutput {
             summary: format!(
                 "{} cells ({} benchmarks × 4 columns)",

@@ -18,11 +18,7 @@ impl Experiment for Table4 {
         "Table IV — MRAM LUT energy vs paper numbers and SRAM baseline"
     }
 
-    fn run(
-        &self,
-        _cfg: &RunConfig,
-        _ctx: &RunContext,
-    ) -> Result<ExperimentOutput, ExperimentError> {
+    fn run(&self, _cfg: &RunConfig, ctx: &RunContext) -> Result<ExperimentOutput, ExperimentError> {
         let m = measure_mram_profile();
         let s = measure_sram_profile();
         let p = PAPER_TABLE_IV;
@@ -70,20 +66,20 @@ impl Experiment for Table4 {
             ],
             &rows,
         );
-        println!(
-            "\nRead asymmetry (P-SCA leakage proxy): {:.4} % (paper: near-zero)",
+        ctx.note(&format!(
+            "read asymmetry (P-SCA leakage proxy): {:.4} % (paper: near-zero)",
             m.read_asymmetry() * 100.0
-        );
-        println!(
-            "SRAM baseline: read {:.1}/{:.1} fJ (asymmetry {:.1} %), write {:.1} fJ, standby {:.1} aJ/µs\n\
-             → MRAM standby is {:.0}× lower; SRAM read energy is value-dependent.",
+        ));
+        ctx.note(&format!(
+            "SRAM baseline: read {:.1}/{:.1} fJ (asymmetry {:.1} %), write {:.1} fJ, standby {:.1} aJ/µs \
+             → MRAM standby is {:.0}× lower; SRAM read energy is value-dependent",
             s.read0_fj,
             s.read1_fj,
             s.read_asymmetry() * 100.0,
             s.write_avg_fj(),
             s.standby_aj,
             s.standby_aj / m.standby_aj
-        );
+        ));
         Ok(ExperimentOutput::summary(format!(
             "read asymmetry {:.4} %, MRAM standby {:.0}× below SRAM",
             m.read_asymmetry() * 100.0,

@@ -95,10 +95,10 @@ impl Experiment for Table5 {
     }
 
     fn run(&self, cfg: &RunConfig, ctx: &RunContext) -> Result<ExperimentOutput, ExperimentError> {
-        println!(
+        ctx.note(&format!(
             "Table V reproduction — attacks actually executed, timeout {:?} per cell",
             cfg.timeout
-        );
+        ));
         let host = generators::adder(12);
 
         // Scheme tokens are the cache identity of each locked design:
@@ -166,10 +166,10 @@ impl Experiment for Table5 {
             &["Scheme", "SAT", "AppSAT", "Removal", "ScanSAT", "P-SCA"],
             &rows,
         );
-        println!(
-            "\nPaper's qualitative claim: only the proposed RIL-Blocks (with SE and MRAM)\n\
-             resist the whole suite; point-function locks fall to removal/AppSAT-class\n\
-             attacks and none of the baselines addresses P-SCA."
+        ctx.note(
+            "paper's qualitative claim: only the proposed RIL-Blocks (with SE and MRAM) \
+             resist the whole suite; point-function locks fall to removal/AppSAT-class \
+             attacks and none of the baselines addresses P-SCA",
         );
         Ok(ExperimentOutput::summary(format!(
             "{} schemes × 5 attacks",

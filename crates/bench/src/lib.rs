@@ -22,9 +22,14 @@
 //! `ril-bench list` prints the registry; `ril-bench run <names…>` (or
 //! `--all`, `--smoke`) executes experiments with a typed, validated
 //! [`RunConfig`] (env knobs `RIL_TIMEOUT_SECS`, `RIL_THREADS`,
-//! `RIL_OUT_DIR`, `RIL_TABLE1_FULL`, `RIL_MC_INSTANCES` are parsed
-//! once, there), a content-addressed cell cache that makes interrupted
-//! sweeps resumable, per-run manifests, and a JSONL event stream.
+//! `RIL_OUT_DIR`, `RIL_TABLE1_FULL`, `RIL_MC_INSTANCES`, `RIL_LOG`,
+//! `RIL_TRACE` are parsed once, there), a content-addressed cell cache
+//! that makes interrupted sweeps resumable, per-run manifests, a JSONL
+//! event stream, and hierarchical trace spans (`SPANS_<exp>.jsonl` +
+//! Perfetto-loadable `TRACE_<exp>.json`, DESIGN.md §9). `ril-bench
+//! trace <run-dir>` aggregates a finished run's spans into a per-phase
+//! time breakdown; `ril-bench validate <run-dir>` integrity-checks every
+//! artifact.
 
 #![warn(missing_docs)]
 
@@ -34,14 +39,19 @@ pub mod events;
 pub mod experiment;
 pub mod experiments;
 pub mod sweep;
+pub mod tracereport;
 
 pub use cache::{CacheKey, CellCache, Manifest, CACHE_VERSION};
 pub use config::{ConfigError, RunConfig};
-pub use events::{EventKind, EventSink};
+pub use events::{EventKind, EventSink, LogLevel};
 pub use experiment::{
     registry, run_experiments, Experiment, ExperimentError, ExperimentOutput, RunContext,
 };
-pub use sweep::{parallel_sweep, parallel_sweep_with, sweep_threads};
+pub use sweep::{parallel_sweep, parallel_sweep_traced, parallel_sweep_with, sweep_threads};
+pub use tracereport::{
+    breakdown, check_chrome_trace, check_events_jsonl, check_spans_jsonl, trace_report,
+    validate_run_dir, CellBreakdown, PhaseTotals, SpanRec, SpanStats,
+};
 
 use ril_attacks::{run_sat_attack, AttackReport, AttackResult, SatAttackConfig};
 use ril_core::{LockedCircuit, Obfuscator, RilBlockSpec};
@@ -142,11 +152,16 @@ pub fn attack_cell_report_with(
     seed: u64,
     timeout: Duration,
 ) -> CellOutcome {
-    match Obfuscator::new(spec)
-        .blocks(blocks)
-        .seed(seed)
-        .obfuscate(host)
-    {
+    let locked = {
+        // Obfuscation is the cell's encode-side cost outside the attack
+        // (the attack's own CNF building has its own `encode_*` spans).
+        let _lock_span = ril_trace::span("lock", ril_trace::Phase::Encode);
+        Obfuscator::new(spec)
+            .blocks(blocks)
+            .seed(seed)
+            .obfuscate(host)
+    };
+    match locked {
         Err(_) => CellOutcome::bare("n/a"),
         Ok(locked) => {
             let cfg = SatAttackConfig {

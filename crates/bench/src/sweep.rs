@@ -59,19 +59,54 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    parallel_sweep_traced(
+        workers,
+        &ril_trace::Tracer::disabled(),
+        ril_trace::SpanId::NONE,
+        items,
+        job,
+    )
+}
+
+/// [`parallel_sweep_with`] with a trace context: every worker thread
+/// installs `tracer` with `parent` as the ambient parent span before
+/// pulling jobs, so spans opened inside `job` (cells, attacks, solver
+/// calls) attach to the sweep's owning span instead of vanishing. Workers
+/// are plain `std::thread`s, which would otherwise start with no
+/// thread-local trace context. A disabled tracer makes this identical to
+/// the untraced sweep.
+///
+/// # Panics
+///
+/// Propagates a panicking job once all workers are joined.
+pub fn parallel_sweep_traced<T, R, F>(
+    workers: usize,
+    tracer: &ril_trace::Tracer,
+    parent: ril_trace::SpanId,
+    items: &[T],
+    job: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
     let workers = workers.max(1).min(n.max(1));
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let _trace_ctx = tracer.install(parent);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = job(i, &items[i]);
+                    *results[i].lock().expect("result slot") = Some(r);
                 }
-                let r = job(i, &items[i]);
-                *results[i].lock().expect("result slot") = Some(r);
             });
         }
     });

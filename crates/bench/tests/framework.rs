@@ -27,6 +27,8 @@ fn test_config(out_dir: &Path) -> RunConfig {
         mc_instances: 10,
         smoke: true,
         use_cache: true,
+        log_level: ril_bench::LogLevel::Off,
+        trace: true,
     }
 }
 

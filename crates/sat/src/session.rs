@@ -139,15 +139,41 @@ impl Session {
     }
 
     /// Solves under assumption literals (see the module docs for the
-    /// assumption protocol), recording a [`SolveRecord`].
+    /// assumption protocol), recording a [`SolveRecord`]. When a
+    /// `ril-trace` context is installed on the current thread, the call is
+    /// wrapped in a `solve` span carrying this call's [`SolverStats`]
+    /// delta (decisions/conflicts/propagations/learned).
     pub fn solve_under(&mut self, assumptions: &[Lit]) -> Outcome {
+        let mut span = ril_trace::span("solve", ril_trace::Phase::Solve);
         let start = Instant::now();
         let outcome = self.solver.solve_with_assumptions(assumptions);
         let after = self.solver.stats();
+        let wall = start.elapsed();
+        let delta = after.since(&self.stats_snapshot);
+        if span.is_active() {
+            span.record_str(
+                "outcome",
+                match outcome {
+                    Outcome::Sat => "sat",
+                    Outcome::Unsat => "unsat",
+                    Outcome::Unknown => "unknown",
+                },
+            );
+            span.record_u64("decisions", delta.decisions);
+            span.record_u64("conflicts", delta.conflicts);
+            span.record_u64("propagations", delta.propagations);
+            span.record_u64("learned", delta.learned);
+            span.record_u64("clauses_added", self.clauses_since_solve as u64);
+            span.record_u64("vars", self.solver.num_vars() as u64);
+            ril_trace::counter("sat.solves", 1);
+            ril_trace::counter("sat.conflicts", delta.conflicts);
+            ril_trace::counter("sat.propagations", delta.propagations);
+            ril_trace::timing("sat.solve_wall", wall);
+        }
         self.records.push(SolveRecord {
             outcome,
-            wall: start.elapsed(),
-            stats: after.since(&self.stats_snapshot),
+            wall,
+            stats: delta,
             clauses_added: self.clauses_since_solve,
         });
         self.stats_snapshot = after;

@@ -1,0 +1,299 @@
+//! Trace exporters: a JSONL span log and Chrome trace-event JSON.
+//!
+//! The JSONL log is the canonical machine-readable artifact: one object
+//! per span `begin`/`end` event (so open/close ordering and balance are
+//! checkable) plus one final `metrics` record with every counter and
+//! timing histogram. The Chrome document uses the trace-event format's
+//! `B`/`E` duration events, which Perfetto and `chrome://tracing` load
+//! directly.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::span::{FieldValue, TraceEvent, Tracer};
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn field_value_into(out: &mut String, v: &FieldValue) {
+    match v {
+        FieldValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        FieldValue::F64(f) if f.is_finite() => {
+            let _ = write!(out, "{f}");
+        }
+        FieldValue::F64(_) => out.push_str("null"),
+        FieldValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        FieldValue::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+    }
+}
+
+fn fields_object_into(out: &mut String, fields: &[(&'static str, FieldValue)]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{k}\":");
+        field_value_into(out, v);
+    }
+    out.push('}');
+}
+
+impl Tracer {
+    /// Renders the JSONL span log. Line kinds:
+    ///
+    /// ```text
+    /// {"ev":"begin","id":1,"parent":0,"name":"experiment","phase":"experiment","tid":1,"ts_us":0}
+    /// {"ev":"end","id":1,"tid":1,"ts_us":152,"fields":{"cells":4}}
+    /// {"ev":"metrics","counters":{...},"timings":{"sat.solve_wall":{"count":9,...}}}
+    /// ```
+    pub fn spans_jsonl(&self) -> String {
+        let mut out = String::new();
+        self.with_events(|events| {
+            for ev in events {
+                match ev {
+                    TraceEvent::Begin {
+                        id,
+                        parent,
+                        name,
+                        phase,
+                        tid,
+                        ts_us,
+                    } => {
+                        let _ = write!(
+                            out,
+                            r#"{{"ev":"begin","id":{id},"parent":{parent},"name":"{name}","phase":"{}","tid":{tid},"ts_us":{ts_us}}}"#,
+                            phase.as_str()
+                        );
+                        out.push('\n');
+                    }
+                    TraceEvent::End {
+                        id,
+                        tid,
+                        ts_us,
+                        fields,
+                    } => {
+                        let _ = write!(out, r#"{{"ev":"end","id":{id},"tid":{tid},"ts_us":{ts_us},"fields":"#);
+                        fields_object_into(&mut out, fields);
+                        out.push_str("}\n");
+                    }
+                }
+            }
+        });
+        out.push_str(&self.metrics_jsonl_line());
+        out
+    }
+
+    /// The final `metrics` JSONL record (with trailing newline).
+    fn metrics_jsonl_line(&self) -> String {
+        let mut out = String::from(r#"{"ev":"metrics","counters":{"#);
+        for (i, (name, value)) in self.metrics().counters().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, r#""{name}":{value}"#);
+        }
+        out.push_str(r#"},"timings":{"#);
+        for (i, (name, snap)) in self.metrics().timings().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                r#""{name}":{{"count":{},"sum_us":{},"max_us":{},"buckets":["#,
+                snap.count, snap.sum_us, snap.max_us
+            );
+            for (j, (bound, n)) in snap.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{bound},{n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Renders a Chrome trace-event JSON document (`B`/`E` duration
+    /// events, one `pid`, real thread ids) loadable in Perfetto.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::from(r#"{"displayTimeUnit":"ms","traceEvents":["#);
+        self.with_events(|events| {
+            // End events name-match their Begin for viewer friendliness.
+            let mut names: std::collections::HashMap<u64, (&'static str, &'static str)> =
+                std::collections::HashMap::new();
+            let mut first = true;
+            for ev in events {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                match ev {
+                    TraceEvent::Begin {
+                        id,
+                        name,
+                        phase,
+                        tid,
+                        ts_us,
+                        ..
+                    } => {
+                        names.insert(*id, (name, phase.as_str()));
+                        let _ = write!(
+                            out,
+                            r#"{{"name":"{name}","cat":"{}","ph":"B","pid":1,"tid":{tid},"ts":{ts_us}}}"#,
+                            phase.as_str()
+                        );
+                    }
+                    TraceEvent::End {
+                        id,
+                        tid,
+                        ts_us,
+                        fields,
+                    } => {
+                        let (name, cat) = names.get(id).copied().unwrap_or(("?", "other"));
+                        let _ = write!(
+                            out,
+                            r#"{{"name":"{name}","cat":"{cat}","ph":"E","pid":1,"tid":{tid},"ts":{ts_us},"args":"#
+                        );
+                        fields_object_into(&mut out, fields);
+                        out.push('}');
+                    }
+                }
+            }
+        });
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes [`Tracer::spans_jsonl`] to `path`, creating parent
+    /// directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write_spans_jsonl(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.spans_jsonl())
+    }
+
+    /// Writes [`Tracer::chrome_trace_json`] to `path`, creating parent
+    /// directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write_chrome_trace(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.chrome_trace_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::span::{span, Phase, Tracer};
+    use std::time::Duration;
+
+    fn traced() -> Tracer {
+        let tracer = Tracer::new();
+        let root = tracer.open_root("experiment", Phase::Experiment);
+        {
+            let _ctx = tracer.install(root);
+            let mut sp = span("solve", Phase::Solve);
+            sp.record_u64("conflicts", 7);
+            sp.record_str("outcome", "sat \"ok\"");
+            sp.record_f64("ratio", 0.5);
+            sp.record_bool("cached", false);
+        }
+        tracer.metrics().counter_add("sat.solves", 1);
+        tracer
+            .metrics()
+            .record_timing("sat.solve_wall", Duration::from_micros(42));
+        tracer.close(root);
+        tracer
+    }
+
+    #[test]
+    fn jsonl_has_balanced_begin_end_plus_metrics() {
+        let out = traced().spans_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5); // 2 begins + 2 ends + metrics
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains(r#""ev":"begin""#))
+                .count(),
+            2
+        );
+        assert_eq!(
+            lines.iter().filter(|l| l.contains(r#""ev":"end""#)).count(),
+            2
+        );
+        assert!(lines[4].contains(r#""ev":"metrics""#));
+        assert!(lines[4].contains(r#""sat.solves":1"#));
+        assert!(lines[4].contains(r#""sat.solve_wall":{"count":1"#));
+        // Escaping of string fields.
+        assert!(out.contains(r#""outcome":"sat \"ok\"""#), "{out}");
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let out = traced().chrome_trace_json();
+        assert!(out.starts_with(r#"{"displayTimeUnit":"ms","traceEvents":["#));
+        assert!(out.ends_with("]}"));
+        assert_eq!(out.matches(r#""ph":"B""#).count(), 2);
+        assert_eq!(out.matches(r#""ph":"E""#).count(), 2);
+        assert!(out.contains(r#""cat":"solve""#));
+        assert!(out.contains(r#""args":{"conflicts":7"#));
+    }
+
+    #[test]
+    fn disabled_tracer_exports_empty_documents() {
+        let tracer = Tracer::disabled();
+        let root = tracer.open_root("experiment", Phase::Experiment);
+        tracer.close(root);
+        assert_eq!(tracer.spans_jsonl().lines().count(), 1); // metrics only
+        let chrome = tracer.chrome_trace_json();
+        assert!(chrome.contains(r#""traceEvents":[]"#));
+    }
+
+    #[test]
+    fn non_finite_floats_export_as_null() {
+        let tracer = Tracer::new();
+        let root = tracer.open_root("experiment", Phase::Experiment);
+        {
+            let _ctx = tracer.install(root);
+            let mut sp = span("x", Phase::Other);
+            sp.record_f64("bad", f64::NAN);
+        }
+        tracer.close(root);
+        assert!(tracer.spans_jsonl().contains(r#""bad":null"#));
+    }
+}

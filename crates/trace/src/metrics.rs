@@ -1,0 +1,238 @@
+//! Monotonic counters and timing histograms.
+//!
+//! The registry is "lock-free-ish": name lookup takes a short
+//! `RwLock` read, the increment itself is a plain atomic. Registering a
+//! new name (first touch) takes the write lock once. Histograms bucket
+//! durations by the power of two of their microsecond count, which is
+//! plenty of resolution for "where did the solve time distribution move"
+//! questions at zero allocation cost.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// Number of log₂ buckets: bucket `b` counts durations in
+/// `[2^(b-1), 2^b)` microseconds (bucket 0 is `< 1 µs`), so 40 buckets
+/// span sub-microsecond to ~2 weeks.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A log₂-bucketed timing histogram with atomic buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one duration.
+    pub fn record(&self, wall: Duration) {
+        let us = wall.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The bucket a `us`-microsecond duration lands in.
+    fn bucket_index(us: u64) -> usize {
+        ((64 - us.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// A consistent-enough copy for reporting (relaxed reads; exact only
+    /// once recording has quiesced).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then(|| (upper_bound_us(i), n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Exclusive upper bound (µs) of bucket `i`.
+fn upper_bound_us(i: usize) -> u64 {
+    1u64 << i
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Recorded durations.
+    pub count: u64,
+    /// Sum of all recorded durations, microseconds.
+    pub sum_us: u64,
+    /// Largest recorded duration, microseconds.
+    pub max_us: u64,
+    /// Non-empty buckets as `(exclusive upper bound µs, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean duration in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// A named registry of counters and timing histograms.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: RwLock<HashMap<&'static str, Arc<AtomicU64>>>,
+    timings: RwLock<HashMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it on first touch.
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        if let Some(c) = self.counters.read().expect("counter registry").get(name) {
+            c.fetch_add(delta, Ordering::Relaxed);
+            return;
+        }
+        self.counters
+            .write()
+            .expect("counter registry")
+            .entry(name)
+            .or_default()
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .expect("counter registry")
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Records a duration into the named histogram, creating it on first
+    /// touch.
+    pub fn record_timing(&self, name: &'static str, wall: Duration) {
+        if let Some(h) = self.timings.read().expect("timing registry").get(name) {
+            h.record(wall);
+            return;
+        }
+        self.timings
+            .write()
+            .expect("timing registry")
+            .entry(name)
+            .or_default()
+            .record(wall);
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let mut out: Vec<(&'static str, u64)> = self
+            .counters
+            .read()
+            .expect("counter registry")
+            .iter()
+            .map(|(k, v)| (*k, v.load(Ordering::Relaxed)))
+            .collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// All timing histograms, sorted by name.
+    pub fn timings(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        let mut out: Vec<(&'static str, HistogramSnapshot)> = self
+            .timings
+            .read()
+            .expect("timing registry")
+            .iter()
+            .map(|(k, v)| (*k, v.snapshot()))
+            .collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        assert_eq!(m.counter("sat.solves"), 0);
+        m.counter_add("sat.solves", 2);
+        m.counter_add("sat.solves", 3);
+        m.counter_add("sat.conflicts", 1);
+        assert_eq!(m.counter("sat.solves"), 5);
+        assert_eq!(m.counters(), vec![("sat.conflicts", 1), ("sat.solves", 5)]);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(0)); // bucket 0: < 1 µs
+        h.record(Duration::from_micros(1)); // bucket 1: [1, 2)
+        h.record(Duration::from_micros(3)); // bucket 2: [2, 4)
+        h.record(Duration::from_micros(3));
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum_us, 7);
+        assert_eq!(snap.max_us, 3);
+        assert_eq!(snap.buckets, vec![(1, 1), (2, 1), (4, 2)]);
+        assert!((snap.mean_us() - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_clamps_huge_durations() {
+        let h = Histogram::default();
+        h.record(Duration::from_secs(10_000_000));
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.buckets.len(), 1);
+        assert_eq!(snap.buckets[0].0, 1u64 << (HISTOGRAM_BUCKETS - 1));
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let m = Metrics::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        m.counter_add("hits", 1);
+                        m.record_timing("wall", Duration::from_micros(5));
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter("hits"), 8000);
+        assert_eq!(m.timings()[0].1.count, 8000);
+    }
+}

@@ -16,9 +16,15 @@ echo "== clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== experiment smoke (ril-bench run --all --smoke) =="
-RIL_OUT_DIR=exp_out/ci_smoke cargo run --release -q -p ril-bench --bin ril-bench -- \
+RIL_OUT_DIR=exp_out/ci_smoke RIL_LOG=error cargo run --release -q -p ril-bench --bin ril-bench -- \
   run --all --smoke >exp_out/ci_smoke.log 2>&1 \
   || { tail -50 exp_out/ci_smoke.log; exit 1; }
 tail -15 exp_out/ci_smoke.log
+
+echo "== run artifacts (ril-bench validate + trace) =="
+cargo run --release -q -p ril-bench --bin ril-bench -- validate exp_out/ci_smoke
+cargo run --release -q -p ril-bench --bin ril-bench -- trace exp_out/ci_smoke \
+  >exp_out/ci_trace.log || { tail -50 exp_out/ci_trace.log; exit 1; }
+tail -5 exp_out/ci_trace.log
 
 echo "ci.sh: all green"
