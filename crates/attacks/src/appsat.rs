@@ -169,7 +169,18 @@ fn appsat_attack_inner(nl: &Netlist, oracle: &mut Oracle, cfg: &AppSatConfig) ->
 /// # Errors
 ///
 /// Propagates simulator construction failures.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `ril_attacks::run_attack(AttackKind::AppSat, ..)` (or `AppSatAttack.run(..)`)"
+)]
 pub fn run_appsat(
+    locked: &LockedCircuit,
+    cfg: &AppSatConfig,
+) -> Result<AttackReport, ril_netlist::NetlistError> {
+    run_appsat_impl(locked, cfg)
+}
+
+pub(crate) fn run_appsat_impl(
     locked: &LockedCircuit,
     cfg: &AppSatConfig,
 ) -> Result<AttackReport, ril_netlist::NetlistError> {
@@ -185,6 +196,7 @@ pub fn run_appsat(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated wrappers are exercised on purpose
 mod tests {
     use super::*;
     use ril_core::baselines::{sfll_lock, xor_lock};

@@ -17,8 +17,13 @@
 //!
 //! ## Quickstart
 //!
+//! Every attack runs behind the unified [`Attack`] API ([`attack`]
+//! module): pick an [`AttackKind`], fill an [`AttackConfig`] (one struct
+//! for all four attacks, including the solver portfolio `threads` knob),
+//! and dispatch with [`run_attack`].
+//!
 //! ```
-//! use ril_attacks::{run_sat_attack, SatAttackConfig};
+//! use ril_attacks::prelude::*;
 //! use ril_core::{Obfuscator, RilBlockSpec};
 //! use ril_netlist::generators;
 //! use std::time::Duration;
@@ -26,12 +31,12 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let host = generators::adder(8);
 //! let locked = Obfuscator::new(RilBlockSpec::size_2x2()).seed(1).obfuscate(&host)?;
-//! let cfg = SatAttackConfig {
+//! let cfg = AttackConfig {
 //!     timeout: Some(Duration::from_secs(20)),
-//!     ..SatAttackConfig::default()
+//!     ..AttackConfig::default()
 //! };
-//! let report = run_sat_attack(&locked, &cfg)?;
-//! println!("{report}");
+//! let outcome = run_attack(AttackKind::Sat, &locked, &cfg)?;
+//! println!("{}", outcome.report);
 //! # Ok(())
 //! # }
 //! ```
@@ -39,9 +44,11 @@
 #![warn(missing_docs)]
 
 pub mod appsat;
+pub mod attack;
 pub mod json;
 mod miter;
 pub mod oracle;
+pub mod prelude;
 pub mod preprocess;
 pub mod removal;
 pub mod report;
@@ -49,10 +56,26 @@ pub mod satattack;
 pub mod scansat;
 mod session;
 
-pub use appsat::{appsat_attack, run_appsat, AppSatConfig};
+pub use appsat::AppSatConfig;
+pub use attack::{
+    default_solver_threads, run_attack, AppSatAttack, Attack, AttackConfig, AttackKind,
+    AttackOutcome, RemovalAttack, SatAttack, ScanSatAttack,
+};
 pub use oracle::{attacker_view, Oracle};
 pub use preprocess::{bva_stats, encoding_stats, EncodingStats};
-pub use removal::{removal_attack, RemovalReport};
+pub use removal::RemovalReport;
 pub use report::{AttackReport, AttackResult, IterationStats};
-pub use satattack::{default_timeout, run_sat_attack, sat_attack, SatAttackConfig};
-pub use scansat::{output_inversion_lock, scansat_attack};
+pub use satattack::{default_timeout, SatAttackConfig};
+pub use scansat::output_inversion_lock;
+
+// Deprecated entry points, re-exported for compatibility. The oracle-level
+// drivers (`satattack::sat_attack`, `appsat::appsat_attack`) stay at their
+// module paths; [`run_attack`] is the canonical root-level surface.
+#[allow(deprecated)]
+pub use appsat::run_appsat;
+#[allow(deprecated)]
+pub use removal::removal_attack;
+#[allow(deprecated)]
+pub use satattack::run_sat_attack;
+#[allow(deprecated)]
+pub use scansat::scansat_attack;

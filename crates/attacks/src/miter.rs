@@ -17,7 +17,7 @@ use ril_netlist::cone::fanout_cone;
 use ril_netlist::{GateId, NetId, Netlist, Simulator};
 use ril_sat::bva::one_hot_selection;
 use ril_sat::tseitin::encode_selected;
-use ril_sat::{encode_netlist_into, Cnf, Lit, Outcome, Session, SolverConfig, Var};
+use ril_sat::{encode_netlist_into, Budget, Cnf, Lit, Outcome, Session, SolverConfig, Var};
 use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
@@ -311,7 +311,7 @@ impl AttackInstance {
         &mut self,
         timeout: Option<Duration>,
     ) -> Result<Option<Vec<bool>>, ()> {
-        self.finder.set_timeout(timeout);
+        self.finder.set_budget(Budget::from_timeout(timeout));
         match self.finder.solve() {
             Outcome::Sat => {
                 let model = self.finder.model();
@@ -332,7 +332,7 @@ impl AttackInstance {
         assumptions: &[Lit],
         timeout: Option<Duration>,
     ) -> Result<Option<Vec<bool>>, ()> {
-        self.finder.set_timeout(timeout);
+        self.finder.set_budget(Budget::from_timeout(timeout));
         match self.finder.solve_under(assumptions) {
             Outcome::Sat => {
                 let model = self.finder.model();

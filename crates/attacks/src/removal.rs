@@ -57,7 +57,19 @@ impl RemovalReport {
 /// # Errors
 ///
 /// Propagates netlist/simulator failures.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `ril_attacks::run_attack(AttackKind::Removal, ..)` (or `RemovalAttack.run(..)`)"
+)]
 pub fn removal_attack(
+    locked: &LockedCircuit,
+    patterns: usize,
+    seed: u64,
+) -> Result<RemovalReport, NetlistError> {
+    removal_attack_impl(locked, patterns, seed)
+}
+
+pub(crate) fn removal_attack_impl(
     locked: &LockedCircuit,
     patterns: usize,
     seed: u64,
@@ -187,6 +199,7 @@ fn removal_attack_inner(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated wrappers are exercised on purpose
 mod tests {
     use super::*;
     use ril_core::baselines::sfll_lock;

@@ -138,7 +138,18 @@ fn sat_attack_loop(
 /// # Errors
 ///
 /// Propagates simulator construction failures.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `ril_attacks::run_attack(AttackKind::Sat, ..)` (or `SatAttack.run(..)`)"
+)]
 pub fn run_sat_attack(
+    locked: &LockedCircuit,
+    cfg: &SatAttackConfig,
+) -> Result<AttackReport, ril_netlist::NetlistError> {
+    run_sat_attack_impl(locked, cfg)
+}
+
+pub(crate) fn run_sat_attack_impl(
     locked: &LockedCircuit,
     cfg: &SatAttackConfig,
 ) -> Result<AttackReport, ril_netlist::NetlistError> {
@@ -155,6 +166,7 @@ pub fn run_sat_attack(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated wrappers are exercised on purpose
 mod tests {
     use super::*;
     use ril_core::baselines::{antisat_lock, sfll_lock, xor_lock};

@@ -76,7 +76,18 @@ pub fn output_inversion_lock(original: &Netlist, seed: u64) -> Result<LockedCirc
 /// # Errors
 ///
 /// Propagates netlist/simulator failures.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `ril_attacks::run_attack(AttackKind::ScanSat, ..)` (or `ScanSatAttack.run(..)`)"
+)]
 pub fn scansat_attack(
+    locked: &LockedCircuit,
+    cfg: &SatAttackConfig,
+) -> Result<AttackReport, NetlistError> {
+    scansat_attack_impl(locked, cfg)
+}
+
+pub(crate) fn scansat_attack_impl(
     locked: &LockedCircuit,
     cfg: &SatAttackConfig,
 ) -> Result<AttackReport, NetlistError> {
@@ -165,6 +176,7 @@ fn scansat_attack_inner(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated wrappers are exercised on purpose
 mod tests {
     use super::*;
     use ril_core::{Obfuscator, RilBlockSpec};

@@ -16,7 +16,7 @@ use crate::oracle::Oracle;
 use crate::report::{AttackReport, AttackResult, IterationStats};
 use ril_core::LockedCircuit;
 use ril_netlist::Netlist;
-use ril_sat::{Outcome, SolverConfig};
+use ril_sat::{Budget, Outcome, SolverConfig};
 use std::time::{Duration, Instant};
 
 /// Outcome of one DIP iteration.
@@ -113,7 +113,7 @@ impl<'a> AttackSession<'a> {
     fn step_inner(&mut self, oracle: &mut Oracle) -> DipStep {
         match self.remaining() {
             Some(left) if left.is_zero() => return DipStep::Budget,
-            left => self.inst.miter.set_timeout(left),
+            left => self.inst.miter.set_budget(Budget::from_timeout(left)),
         }
         if self.max_iterations.is_some_and(|m| self.iterations >= m) {
             return DipStep::Budget;

@@ -3,7 +3,7 @@
 //! by design and are covered by the `table1` binary).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ril_attacks::{run_sat_attack, SatAttackConfig};
+use ril_attacks::{run_attack, AttackConfig, AttackKind};
 use ril_core::{Obfuscator, RilBlockSpec};
 use ril_netlist::generators;
 use std::time::Duration;
@@ -24,12 +24,12 @@ fn bench_sat_attack(c: &mut Criterion) {
             &locked,
             |b, locked| {
                 b.iter(|| {
-                    let cfg = SatAttackConfig {
+                    let cfg = AttackConfig {
                         timeout: Some(Duration::from_secs(20)),
-                        ..SatAttackConfig::default()
+                        ..AttackConfig::default()
                     };
-                    let report = run_sat_attack(locked, &cfg).expect("sim ok");
-                    assert!(report.result.succeeded());
+                    let outcome = run_attack(AttackKind::Sat, locked, &cfg).expect("sim ok");
+                    assert!(outcome.report.result.succeeded());
                 });
             },
         );
@@ -41,12 +41,12 @@ fn bench_sat_attack(c: &mut Criterion) {
         .expect("lock");
     group.bench_function("4x4_single_block", |b| {
         b.iter(|| {
-            let cfg = SatAttackConfig {
+            let cfg = AttackConfig {
                 timeout: Some(Duration::from_secs(20)),
-                ..SatAttackConfig::default()
+                ..AttackConfig::default()
             };
-            let report = run_sat_attack(&locked, &cfg).expect("sim ok");
-            assert!(report.result.succeeded());
+            let outcome = run_attack(AttackKind::Sat, &locked, &cfg).expect("sim ok");
+            assert!(outcome.report.result.succeeded());
         });
     });
     group.finish();

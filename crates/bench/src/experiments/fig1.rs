@@ -9,7 +9,8 @@
 //! observes) lets the SAT attack finish dramatically faster than the
 //! timeout-prone MESO runs reported in \[9\].
 
-use ril_attacks::{sat_attack, Oracle, SatAttackConfig};
+use ril_attacks::satattack::sat_attack;
+use ril_attacks::{Oracle, SatAttackConfig};
 use ril_core::key::{KeyBitKind, KeyStore};
 use ril_core::lut::{materialize_lut2, materialize_meso, meso_selector_for, MESO_FUNCTIONS};
 use ril_core::LockedCircuit;
@@ -96,7 +97,11 @@ fn encoding_cell(
     locked.netlist.validate()?;
     let mut oracle = Oracle::new(&locked)?;
     let attack_cfg = SatAttackConfig {
-        timeout: Some(cfg.timeout),
+        timeout: Some(cfg.attack_timeout()),
+        solver: ril_sat::SolverConfig {
+            threads: cfg.solver_threads,
+            ..ril_sat::SolverConfig::default()
+        },
         ..SatAttackConfig::default()
     };
     let report = sat_attack(&locked.netlist, &mut oracle, &attack_cfg);
@@ -133,7 +138,8 @@ impl Experiment for Fig1 {
                     .field("bench", "c7552")
                     .field("devices", count)
                     .field("meso", meso)
-                    .field("timeout_s", cfg.timeout.as_secs());
+                    .field("timeout_s", cfg.timeout.as_secs())
+                    .field("solver_threads", cfg.solver_threads);
                 let label = format!("{count} devices, {}", if meso { "MESO" } else { "LUT-2" });
                 let outcome =
                     cached_outcome(ctx, &key, &label, || encoding_cell(&host, count, meso, cfg))?;

@@ -3,7 +3,7 @@
 //! versus LUT input count for plain LUT locking (the custom-LUT scheme of
 //! refs \[8\]/\[12\]), and versus RIL-Block width for the full primitive.
 
-use ril_attacks::{run_sat_attack, SatAttackConfig};
+use ril_attacks::{run_attack, AttackConfig, AttackKind};
 use ril_core::baselines::lutm_lock;
 use ril_core::{Obfuscator, RilBlockSpec};
 use ril_netlist::generators;
@@ -40,9 +40,13 @@ impl Experiment for LutScaling {
             host.name(),
             cfg.timeout
         ));
-        let attack_cfg = SatAttackConfig {
-            timeout: Some(cfg.timeout),
-            ..SatAttackConfig::default()
+        let attack_cfg = AttackConfig {
+            timeout: Some(cfg.attack_timeout()),
+            solver: ril_sat::SolverConfig {
+                threads: cfg.solver_threads,
+                ..ril_sat::SolverConfig::default()
+            },
+            ..AttackConfig::default()
         };
 
         // Plain LUT locking, growing the LUT input count.
@@ -55,10 +59,11 @@ impl Experiment for LutScaling {
                 .field("luts", 4)
                 .field("m", m)
                 .field("seed", 77)
-                .field("timeout_s", cfg.timeout.as_secs());
+                .field("timeout_s", cfg.timeout.as_secs())
+                .field("solver_threads", cfg.solver_threads);
             let outcome = cached_outcome(ctx, &key, &format!("4 × LUT-{m}"), || {
                 let locked = lutm_lock(&host, 4, m, 77)?;
-                let report = run_sat_attack(&locked, &attack_cfg)?;
+                let report = run_attack(AttackKind::Sat, &locked, &attack_cfg)?.report;
                 Ok(CellOutcome {
                     cell: format!(
                         "{}\t{}\t{}",
@@ -98,7 +103,8 @@ impl Experiment for LutScaling {
                 .field("spec", spec.cache_token())
                 .field("blocks", blocks)
                 .field("seed", 55)
-                .field("timeout_s", cfg.timeout.as_secs());
+                .field("timeout_s", cfg.timeout.as_secs())
+                .field("solver_threads", cfg.solver_threads);
             let outcome = cached_outcome(ctx, &key, spec_str, || {
                 match Obfuscator::new(spec)
                     .blocks(blocks)
@@ -107,7 +113,7 @@ impl Experiment for LutScaling {
                 {
                     Err(e) => Ok(CellOutcome::bare(format!("error: {e}"))),
                     Ok(locked) => {
-                        let report = run_sat_attack(&locked, &attack_cfg)?;
+                        let report = run_attack(AttackKind::Sat, &locked, &attack_cfg)?.report;
                         Ok(CellOutcome {
                             cell: format!(
                                 "{}\t{}\t{}",

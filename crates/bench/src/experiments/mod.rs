@@ -24,7 +24,7 @@ use ril_netlist::Netlist;
 
 use crate::cache::CacheKey;
 use crate::experiment::{cell_payload, parse_cell_payload, ExperimentError, RunContext};
-use crate::CellOutcome;
+use crate::{CellOutcome, RunConfig};
 
 /// Runs one attack cell through the cache: on a hit the stored
 /// [`CellOutcome`] (cell string + full report) comes back without
@@ -49,8 +49,11 @@ where
 
 /// The cache key for a plain SAT-attack cell. Deliberately **not**
 /// scoped to one experiment: the identity of a cell is its full attack
-/// configuration, so Table V's "RIL (static)" cell and a Table I cell
-/// with the same (bench, spec, blocks, seed, timeout) are the same cell.
+/// configuration — including the portfolio width, since a portfolio run
+/// may converge along a different DIP sequence than a sequential one —
+/// so Table V's "RIL (static)" cell and a Table I cell with the same
+/// (bench, spec, blocks, seed, timeout, solver_threads) are the same
+/// cell.
 #[must_use]
 pub fn sat_cell_key(
     bench: &str,
@@ -58,6 +61,7 @@ pub fn sat_cell_key(
     blocks: usize,
     seed: u64,
     timeout: Duration,
+    solver_threads: usize,
 ) -> CacheKey {
     CacheKey::new("attack")
         .field("kind", "sat")
@@ -66,6 +70,7 @@ pub fn sat_cell_key(
         .field("blocks", blocks)
         .field("seed", seed)
         .field("timeout_s", timeout.as_secs())
+        .field("solver_threads", solver_threads)
 }
 
 /// A cached lock-then-SAT-attack cell (the Table I / Table III work
@@ -83,13 +88,18 @@ pub fn cached_sat_cell(
     spec: RilBlockSpec,
     blocks: usize,
     seed: u64,
-    timeout: Duration,
+    cfg: &RunConfig,
 ) -> Result<CellOutcome, ExperimentError> {
-    let key = sat_cell_key(bench, spec, blocks, seed, timeout);
+    let key = sat_cell_key(bench, spec, blocks, seed, cfg.timeout, cfg.solver_threads);
     let label = format!("{bench} {blocks}×{}", spec.cache_token());
     cached_outcome(ctx, &key, &label, || {
         Ok(crate::attack_cell_report_with(
-            host, spec, blocks, seed, timeout,
+            host,
+            spec,
+            blocks,
+            seed,
+            cfg.attack_timeout(),
+            cfg.solver_threads,
         ))
     })
 }

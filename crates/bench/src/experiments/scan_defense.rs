@@ -4,9 +4,7 @@
 //! oracle access returns corrupted responses and all oracle-guided attacks
 //! are defeated.
 
-use ril_attacks::{
-    run_appsat, run_sat_attack, scansat_attack, AppSatConfig, AttackReport, SatAttackConfig,
-};
+use ril_attacks::{run_attack, AttackConfig, AttackKind, AttackReport};
 use ril_core::{LockedCircuit, Obfuscator, RilBlockSpec};
 use ril_netlist::generators;
 
@@ -46,24 +44,20 @@ fn attack_outcome(
         .field("spec", spec_token)
         .field("blocks", 3)
         .field("seed", 21)
-        .field("timeout_s", cfg.timeout.as_secs());
+        .field("timeout_s", cfg.timeout.as_secs())
+        .field("solver_threads", cfg.solver_threads);
     cached_outcome(ctx, &key, &format!("{design} / {attack}"), || {
-        let sat_cfg = SatAttackConfig {
-            timeout: Some(cfg.timeout),
-            ..SatAttackConfig::default()
+        let kind =
+            AttackKind::parse(attack).ok_or_else(|| format!("unknown attack kind {attack}"))?;
+        let a_cfg = AttackConfig {
+            timeout: Some(cfg.attack_timeout()),
+            solver: ril_sat::SolverConfig {
+                threads: cfg.solver_threads,
+                ..ril_sat::SolverConfig::default()
+            },
+            ..AttackConfig::default()
         };
-        let report = match attack {
-            "sat" => run_sat_attack(locked, &sat_cfg)?,
-            "appsat" => {
-                let app_cfg = AppSatConfig {
-                    timeout: Some(cfg.timeout),
-                    ..AppSatConfig::default()
-                };
-                run_appsat(locked, &app_cfg)?
-            }
-            "scansat" => scansat_attack(locked, &sat_cfg)?,
-            other => return Err(format!("unknown attack kind {other}").into()),
-        };
+        let report = run_attack(kind, locked, &a_cfg)?.report;
         Ok(CellOutcome {
             cell: report.table_cell(),
             report: Some(report),

@@ -85,7 +85,7 @@ impl Experiment for Table1 {
                 specs[si],
                 count,
                 1000 + count as u64,
-                cfg.timeout,
+                cfg,
             )
             .unwrap_or_else(|e| CellOutcome::bare(format!("err:{e}")))
         });

@@ -8,7 +8,7 @@
 //! resumes from the cells already on disk. Full per-cell attack reports
 //! land in `<out_dir>/BENCH_table3.json`.
 
-use ril_attacks::{run_appsat, AppSatConfig};
+use ril_attacks::{run_attack, AttackConfig, AttackKind};
 use ril_core::RilBlockSpec;
 use ril_netlist::generators;
 
@@ -56,7 +56,8 @@ fn appsat_cell(
         .field("spec", spec.with_scan(true).cache_token())
         .field("blocks", 1)
         .field("seed", 100)
-        .field("timeout_s", cfg.timeout.as_secs());
+        .field("timeout_s", cfg.timeout.as_secs())
+        .field("solver_threads", cfg.solver_threads);
     cached_outcome(
         ctx,
         &key,
@@ -64,11 +65,15 @@ fn appsat_cell(
         || match lock_with_armed_se(host, spec, 1, 100) {
             None => Ok(CellOutcome::bare("n/a")),
             Some(locked) => {
-                let app_cfg = AppSatConfig {
-                    timeout: Some(cfg.timeout),
-                    ..AppSatConfig::default()
+                let app_cfg = AttackConfig {
+                    timeout: Some(cfg.attack_timeout()),
+                    solver: ril_sat::SolverConfig {
+                        threads: cfg.solver_threads,
+                        ..ril_sat::SolverConfig::default()
+                    },
+                    ..AttackConfig::default()
                 };
-                let report = run_appsat(&locked, &app_cfg)?;
+                let report = run_attack(AttackKind::AppSat, &locked, &app_cfg)?.report;
                 let cell = if defense_held(&report.result, report.functionally_correct) {
                     "✗ (paper ✗)".to_string()
                 } else {
@@ -123,7 +128,7 @@ impl Experiment for Table3 {
                             spec,
                             cell.blocks,
                             7 + cell.blocks as u64,
-                            cfg.timeout,
+                            cfg,
                         )
                     }
                 }

@@ -22,8 +22,9 @@
 //! `ril-bench list` prints the registry; `ril-bench run <names…>` (or
 //! `--all`, `--smoke`) executes experiments with a typed, validated
 //! [`RunConfig`] (env knobs `RIL_TIMEOUT_SECS`, `RIL_THREADS`,
-//! `RIL_OUT_DIR`, `RIL_TABLE1_FULL`, `RIL_MC_INSTANCES`, `RIL_LOG`,
-//! `RIL_TRACE` are parsed once, there), a content-addressed cell cache
+//! `RIL_SOLVER_THREADS`, `RIL_OUT_DIR`, `RIL_TABLE1_FULL`,
+//! `RIL_MC_INSTANCES`, `RIL_LOG`, `RIL_TRACE` are parsed once, there),
+//! a content-addressed cell cache
 //! that makes interrupted sweeps resumable, per-run manifests, a JSONL
 //! event stream, and hierarchical trace spans (`SPANS_<exp>.jsonl` +
 //! Perfetto-loadable `TRACE_<exp>.json`, DESIGN.md §9). `ril-bench
@@ -53,9 +54,10 @@ pub use tracereport::{
     validate_run_dir, CellBreakdown, PhaseTotals, SpanRec, SpanStats,
 };
 
-use ril_attacks::{run_sat_attack, AttackReport, AttackResult, SatAttackConfig};
+use ril_attacks::{run_attack, AttackConfig, AttackKind, AttackReport, AttackResult};
 use ril_core::{LockedCircuit, Obfuscator, RilBlockSpec};
 use ril_netlist::Netlist;
+use ril_sat::SolverConfig;
 use std::time::Duration;
 
 /// Renders a markdown-ish table to stdout.
@@ -139,18 +141,27 @@ pub fn attack_cell_report(
     blocks: usize,
     seed: u64,
 ) -> CellOutcome {
-    attack_cell_report_with(host, spec, blocks, seed, cell_timeout())
+    attack_cell_report_with(
+        host,
+        spec,
+        blocks,
+        seed,
+        cell_timeout(),
+        ril_attacks::default_solver_threads(),
+    )
 }
 
-/// [`attack_cell_report`] with an explicit attack budget — the experiment
-/// framework passes `RunConfig::timeout` here instead of re-reading the
-/// environment per cell.
+/// [`attack_cell_report`] with an explicit attack budget and solver
+/// portfolio width — the experiment framework passes
+/// `RunConfig::timeout` / `RunConfig::solver_threads` here instead of
+/// re-reading the environment per cell.
 pub fn attack_cell_report_with(
     host: &Netlist,
     spec: RilBlockSpec,
     blocks: usize,
     seed: u64,
     timeout: Duration,
+    solver_threads: usize,
 ) -> CellOutcome {
     let locked = {
         // Obfuscation is the cell's encode-side cost outside the attack
@@ -164,13 +175,18 @@ pub fn attack_cell_report_with(
     match locked {
         Err(_) => CellOutcome::bare("n/a"),
         Ok(locked) => {
-            let cfg = SatAttackConfig {
+            let cfg = AttackConfig {
                 timeout: Some(timeout),
-                ..SatAttackConfig::default()
+                solver: SolverConfig {
+                    threads: solver_threads,
+                    ..SolverConfig::default()
+                },
+                ..AttackConfig::default()
             };
-            match run_sat_attack(&locked, &cfg) {
+            match run_attack(AttackKind::Sat, &locked, &cfg) {
                 Err(e) => CellOutcome::bare(format!("err:{e}")),
-                Ok(report) => {
+                Ok(outcome) => {
+                    let report = outcome.report;
                     let cell = if report.result.succeeded()
                         && report.functionally_correct == Some(false)
                     {

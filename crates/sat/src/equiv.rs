@@ -9,7 +9,7 @@
 use crate::cnf::Cnf;
 use crate::lit::{Lit, Var};
 use crate::session::Session;
-use crate::solver::{Outcome, SolverConfig, SolverStats};
+use crate::solver::{Budget, Outcome, SolverConfig, SolverStats};
 use crate::tseitin::{encode_netlist_into, TseitinError};
 use ril_netlist::{NetId, Netlist};
 use std::collections::HashMap;
@@ -332,7 +332,7 @@ impl EquivSession {
 
     /// Updates the per-call wall-clock budget.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) {
-        self.session.set_timeout(timeout);
+        self.session.set_budget(Budget::from_timeout(timeout));
     }
 
     /// Cumulative solver statistics across all checks.
@@ -385,7 +385,7 @@ pub fn check_equivalence_in(
     right: &Netlist,
     options: &EquivOptions,
 ) -> Result<EquivResult, EquivError> {
-    session.set_timeout(options.timeout);
+    session.set_budget(Budget::from_timeout(options.timeout));
     let mut equiv = EquivSession::encode_into(session, left, right, options)?;
     let result = equiv.check();
     // Give the (grown) session back to the caller.

@@ -30,6 +30,7 @@ pub mod bva;
 pub mod cnf;
 pub mod equiv;
 pub mod lit;
+pub mod portfolio;
 pub mod session;
 pub mod solver;
 pub mod tseitin;
@@ -39,6 +40,10 @@ pub use equiv::{
     check_equivalence, check_equivalence_in, EquivError, EquivOptions, EquivResult, EquivSession,
 };
 pub use lit::{LBool, Lit, Var};
+pub use portfolio::{Portfolio, PortfolioStats};
 pub use session::{Session, SolveRecord};
-pub use solver::{Outcome, Solver, SolverConfig, SolverStats};
+pub use solver::{
+    Budget, BudgetError, Outcome, Solver, SolverConfig, SolverConfigError, SolverStats,
+    MAX_SOLVER_THREADS,
+};
 pub use tseitin::{encode_netlist, encode_netlist_into, CircuitVars, TseitinError};

@@ -9,9 +9,16 @@
 
 use crate::cnf::Cnf;
 use crate::lit::{LBool, Lit, Var};
+use crate::portfolio::ExchangeHandle;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const NO_REASON: u32 = u32::MAX;
+
+/// Upper bound on portfolio workers (and therefore on
+/// [`SolverConfig::threads`]); keeps per-worker counter names static.
+pub const MAX_SOLVER_THREADS: usize = 16;
 
 /// Result of a solve call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,7 +33,10 @@ pub enum Outcome {
 }
 
 /// Tunable solver behaviour. The toggles exist for the ablation study; the
-/// defaults are the full-strength configuration.
+/// defaults are the full-strength configuration. The builder-style
+/// `with_*` setters validate their arguments at construction time (a
+/// malformed decay or thread count is a caller bug, not something to
+/// discover mid-solve).
 #[derive(Debug, Clone)]
 pub struct SolverConfig {
     /// Multiplicative VSIDS activity decay (applied per conflict).
@@ -36,8 +46,15 @@ pub struct SolverConfig {
     pub vsids: bool,
     /// Enable Luby restarts.
     pub restarts: bool,
+    /// Base Luby restart interval in conflicts (the sequence is scaled by
+    /// this); a portfolio diversification lever.
+    pub restart_interval: u64,
     /// Enable phase saving.
     pub phase_saving: bool,
+    /// Polarity decided for a variable that has no saved phase yet (and,
+    /// with phase saving off, for every decision). The historical default
+    /// is `false`; flipping it is a portfolio diversification lever.
+    pub default_phase: bool,
     /// Enable learnt-clause minimization.
     pub clause_minimization: bool,
     /// Enable learnt-database reduction.
@@ -46,6 +63,10 @@ pub struct SolverConfig {
     pub max_conflicts: Option<u64>,
     /// Abort with [`Outcome::Unknown`] after this wall-clock budget.
     pub timeout: Option<Duration>,
+    /// Number of diversified portfolio workers a [`crate::Session`] built
+    /// from this config races per solve call (1 = plain single-thread
+    /// solver; a bare [`Solver`] ignores this field).
+    pub threads: usize,
 }
 
 impl Default for SolverConfig {
@@ -54,11 +75,14 @@ impl Default for SolverConfig {
             vsids_decay: 0.95,
             vsids: true,
             restarts: true,
+            restart_interval: 100,
             phase_saving: true,
+            default_phase: false,
             clause_minimization: true,
             reduce_db: true,
             max_conflicts: None,
             timeout: None,
+            threads: 1,
         }
     }
 }
@@ -76,6 +100,184 @@ impl SolverConfig {
             reduce_db: false,
             ..SolverConfig::default()
         }
+    }
+
+    /// Sets the VSIDS decay factor; must lie strictly between 0 and 1.
+    pub fn with_decay(mut self, vsids_decay: f64) -> Result<SolverConfig, SolverConfigError> {
+        if !(vsids_decay > 0.0 && vsids_decay < 1.0) {
+            return Err(SolverConfigError {
+                field: "vsids_decay",
+                value: format!("{vsids_decay}"),
+                reason: "must lie strictly between 0 and 1",
+            });
+        }
+        self.vsids_decay = vsids_decay;
+        Ok(self)
+    }
+
+    /// Sets the base Luby restart interval (in conflicts); must be ≥ 1.
+    pub fn with_restart_interval(
+        mut self,
+        interval: u64,
+    ) -> Result<SolverConfig, SolverConfigError> {
+        if interval == 0 {
+            return Err(SolverConfigError {
+                field: "restart_interval",
+                value: "0".to_string(),
+                reason: "must be at least 1 conflict",
+            });
+        }
+        self.restart_interval = interval;
+        Ok(self)
+    }
+
+    /// Sets the portfolio width; must lie in `1..=MAX_SOLVER_THREADS`.
+    pub fn with_threads(mut self, threads: usize) -> Result<SolverConfig, SolverConfigError> {
+        if threads == 0 || threads > MAX_SOLVER_THREADS {
+            return Err(SolverConfigError {
+                field: "threads",
+                value: format!("{threads}"),
+                reason: "must lie in 1..=MAX_SOLVER_THREADS",
+            });
+        }
+        self.threads = threads;
+        Ok(self)
+    }
+
+    /// Sets the polarity used for unseen variables (infallible).
+    pub fn with_default_phase(mut self, phase: bool) -> SolverConfig {
+        self.default_phase = phase;
+        self
+    }
+
+    /// Applies a [`Budget`]'s limits to the config (the budget was already
+    /// validated at its own construction, so this is infallible). The
+    /// conflict limit is absolute here — prefer [`Solver::set_budget`] for
+    /// the per-call form.
+    pub fn with_budget(mut self, budget: Budget) -> SolverConfig {
+        self.max_conflicts = budget.max_conflicts();
+        self.timeout = budget.timeout();
+        self
+    }
+}
+
+/// A rejected [`SolverConfig`] builder argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolverConfigError {
+    /// The offending field.
+    pub field: &'static str,
+    /// The rejected value, rendered.
+    pub value: String,
+    /// Why it was rejected.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for SolverConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid SolverConfig.{}={}: {}",
+            self.field, self.value, self.reason
+        )
+    }
+}
+
+impl std::error::Error for SolverConfigError {}
+
+/// A validated resource budget for solve calls: optional conflict and
+/// wall-clock limits. Zero limits are rejected at construction (a zero
+/// budget is always a caller bug — it would silently turn every solve
+/// into [`Outcome::Unknown`]), replacing the old trio of
+/// `set_conflict_budget`/`set_timeout`/`set_max_conflicts` setters.
+///
+/// # Examples
+///
+/// ```
+/// use ril_sat::Budget;
+/// use std::time::Duration;
+///
+/// let b = Budget::wall(Duration::from_secs(5)).unwrap().and_conflicts(10_000).unwrap();
+/// assert_eq!(b.max_conflicts(), Some(10_000));
+/// assert!(Budget::conflicts(0).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    conflicts: Option<u64>,
+    wall: Option<Duration>,
+}
+
+/// A rejected [`Budget`] limit (zero conflicts or zero duration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetError {
+    /// Which limit was rejected (`"conflicts"` or `"wall"`).
+    pub limit: &'static str,
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "zero {} budget rejected (use Budget::unlimited to remove a limit)",
+            self.limit
+        )
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+impl Budget {
+    /// No limits: solves run to completion.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// A conflict-count budget; `n` must be ≥ 1.
+    pub fn conflicts(n: u64) -> Result<Budget, BudgetError> {
+        Budget::unlimited().and_conflicts(n)
+    }
+
+    /// A wall-clock budget; `d` must be non-zero.
+    pub fn wall(d: Duration) -> Result<Budget, BudgetError> {
+        Budget::unlimited().and_wall(d)
+    }
+
+    /// Adds a conflict limit to an existing budget; `n` must be ≥ 1.
+    pub fn and_conflicts(mut self, n: u64) -> Result<Budget, BudgetError> {
+        if n == 0 {
+            return Err(BudgetError { limit: "conflicts" });
+        }
+        self.conflicts = Some(n);
+        Ok(self)
+    }
+
+    /// Adds a wall-clock limit to an existing budget; `d` must be non-zero.
+    pub fn and_wall(mut self, d: Duration) -> Result<Budget, BudgetError> {
+        if d.is_zero() {
+            return Err(BudgetError { limit: "wall" });
+        }
+        self.wall = Some(d);
+        Ok(self)
+    }
+
+    /// Adapts the `Option<Duration>` timeout shape the attack configs
+    /// carry. `None` means unlimited; a zero duration (an already-spent
+    /// budget) is clamped up to 1 ms, preserving its "no time left"
+    /// meaning instead of silently becoming unlimited.
+    pub fn from_timeout(timeout: Option<Duration>) -> Budget {
+        Budget {
+            conflicts: None,
+            wall: timeout.map(|t| t.max(Duration::from_millis(1))),
+        }
+    }
+
+    /// The conflict limit, if any.
+    pub fn max_conflicts(&self) -> Option<u64> {
+        self.conflicts
+    }
+
+    /// The wall-clock limit, if any.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.wall
     }
 }
 
@@ -267,6 +469,15 @@ pub struct Solver {
     stats: SolverStats,
     start: Option<Instant>,
     learnt_limit: f64,
+    /// Cooperative cancellation: when set and raised, the next budget
+    /// check aborts the solve with [`Outcome::Unknown`]. This is how a
+    /// portfolio stops losing workers.
+    stop: Option<Arc<AtomicBool>>,
+    /// Portfolio clause exchange: export short learnt clauses, import
+    /// peers' at restart boundaries. `None` outside a portfolio race.
+    exchange: Option<ExchangeHandle>,
+    imported: u64,
+    exported: u64,
 }
 
 impl Default for Solver {
@@ -304,6 +515,10 @@ impl Solver {
             stats: SolverStats::default(),
             start: None,
             learnt_limit: 2000.0,
+            stop: None,
+            exchange: None,
+            imported: 0,
+            exported: 0,
         }
     }
 
@@ -336,7 +551,7 @@ impl Solver {
         self.level.push(0);
         self.reason.push(NO_REASON);
         self.activity.push(0.0);
-        self.saved_phase.push(false);
+        self.saved_phase.push(self.config.default_phase);
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
@@ -361,23 +576,72 @@ impl Solver {
         self.ok
     }
 
+    /// Applies `budget` to subsequent solve calls, replacing any earlier
+    /// budget entirely: the conflict limit counts *from now* (on top of
+    /// the cumulative statistics) and the wall-clock limit is measured
+    /// from the start of each call. [`Budget::unlimited`] removes both
+    /// limits.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.config.max_conflicts = budget
+            .max_conflicts()
+            .map(|b| self.stats.conflicts.saturating_add(b));
+        self.config.timeout = budget.timeout();
+    }
+
+    /// Solves under `assumptions` within `budget` (see
+    /// [`Solver::set_budget`] for the budget semantics).
+    pub fn solve_within(&mut self, assumptions: &[Lit], budget: Budget) -> Outcome {
+        self.set_budget(budget);
+        self.solve_with_assumptions(assumptions)
+    }
+
     /// Sets the conflict budget to `budget` conflicts *from now* (on top of
-    /// the cumulative count), or removes it. This is the per-call form of
-    /// [`Solver::set_max_conflicts`].
+    /// the cumulative count), or removes it.
+    #[deprecated(since = "0.4.0", note = "use set_budget/solve_within with a Budget")]
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.config.max_conflicts = budget.map(|b| self.stats.conflicts.saturating_add(b));
     }
 
     /// Updates the wall-clock budget for subsequent solve calls (the budget
     /// is measured from the start of each call).
+    #[deprecated(since = "0.4.0", note = "use set_budget/solve_within with a Budget")]
     pub fn set_timeout(&mut self, timeout: Option<Duration>) {
         self.config.timeout = timeout;
     }
 
     /// Updates the conflict budget for subsequent solve calls. The limit is
     /// cumulative over the solver's lifetime statistics.
+    #[deprecated(since = "0.4.0", note = "use set_budget/solve_within with a Budget")]
     pub fn set_max_conflicts(&mut self, max_conflicts: Option<u64>) {
         self.config.max_conflicts = max_conflicts;
+    }
+
+    /// Installs (or clears) a cooperative stop flag: once the flag is
+    /// raised by another thread, the solve aborts with
+    /// [`Outcome::Unknown`] at the next budget check. The flag is how a
+    /// [`crate::Portfolio`] race stops its losing workers; it is *not*
+    /// cleared automatically between solve calls.
+    pub fn set_stop_flag(&mut self, flag: Option<Arc<AtomicBool>>) {
+        self.stop = flag;
+    }
+
+    /// Attaches (or detaches) a portfolio clause-exchange endpoint: short
+    /// learnt clauses are published to it, and peers' clauses are imported
+    /// at restart boundaries.
+    pub(crate) fn set_exchange(&mut self, exchange: Option<ExchangeHandle>) {
+        self.exchange = exchange;
+    }
+
+    /// `(imported, exported)` shared-clause counts over this solver's
+    /// lifetime (only nonzero when it has raced in a portfolio).
+    pub fn shared_clause_counts(&self) -> (u64, u64) {
+        (self.imported, self.exported)
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
     }
 
     /// Adds a clause. Tautologies are dropped, duplicate literals removed,
@@ -749,6 +1013,9 @@ impl Solver {
     }
 
     fn budget_exhausted(&self) -> bool {
+        if self.stopped() {
+            return true;
+        }
         if let Some(max_c) = self.config.max_conflicts {
             if self.stats.conflicts >= max_c {
                 return true;
@@ -801,7 +1068,7 @@ impl Solver {
         }
 
         let mut restart_count = 0u64;
-        let mut conflicts_until_restart = Self::luby(restart_count) * 100;
+        let mut conflicts_until_restart = Self::luby(restart_count) * self.config.restart_interval;
         let mut conflicts_this_restart = 0u64;
 
         loop {
@@ -835,9 +1102,25 @@ impl Solver {
                     restart_count += 1;
                     self.stats.restarts += 1;
                     conflicts_this_restart = 0;
-                    conflicts_until_restart = Self::luby(restart_count) * 100;
+                    conflicts_until_restart =
+                        Self::luby(restart_count) * self.config.restart_interval;
                     let keep = (assumptions.len() as u32).min(self.decision_level());
                     self.backtrack_to(keep);
+                    // Restart boundary: fold in clauses shared by portfolio
+                    // peers (requires the root level; cancelled assumption
+                    // levels are simply re-decided below).
+                    if self.exchange.is_some() {
+                        self.import_shared();
+                        if !self.ok {
+                            return Outcome::Unsat;
+                        }
+                    }
+                }
+                if self.stopped() {
+                    // Conflict-light instances never reach the per-conflict
+                    // budget check; honour cancellation per decision too.
+                    self.backtrack_to(0);
+                    return Outcome::Unknown;
                 }
                 // Assumption decisions first.
                 if (self.decision_level() as usize) < assumptions.len() {
@@ -874,7 +1157,7 @@ impl Solver {
                         let phase = if self.config.phase_saving {
                             self.saved_phase[v.index()]
                         } else {
-                            false
+                            self.config.default_phase
                         };
                         self.trail_lim.push(self.trail.len());
                         self.enqueue(v.lit(!phase), NO_REASON);
@@ -886,6 +1169,14 @@ impl Solver {
 
     fn learn_and_jump(&mut self, learnt: Vec<Lit>, bt: u32, lbd: u32) {
         self.backtrack_to(bt);
+        if let Some(ex) = &self.exchange {
+            // Share only high-quality clauses (short, low LBD): units and
+            // binaries always qualify, long clauses never do.
+            if ex.accepts(learnt.len(), lbd) {
+                ex.publish(&learnt);
+                self.exported += 1;
+            }
+        }
         let asserting = learnt[0];
         if learnt.len() == 1 {
             self.enqueue(asserting, NO_REASON);
@@ -893,6 +1184,29 @@ impl Solver {
             let ci = self.attach_clause(learnt, true, lbd);
             self.stats.learned += 1;
             self.enqueue(asserting, ci);
+        }
+    }
+
+    /// Drains clauses published by portfolio peers into the database.
+    /// Backtracks to the root first (clause addition requires it); any
+    /// restart-kept assumption levels are re-decided by the solve loop.
+    fn import_shared(&mut self) {
+        let pending = match &mut self.exchange {
+            Some(ex) => ex.take_pending(),
+            None => return,
+        };
+        if pending.is_empty() {
+            return;
+        }
+        self.backtrack_to(0);
+        for lits in pending {
+            self.imported += 1;
+            // Imported clauses are implied by the shared formula, so adding
+            // them as permanent clauses is sound; a derived empty clause
+            // (`ok` drops) is a genuine UNSAT proof.
+            if !self.add_clause(lits) {
+                return;
+            }
         }
     }
 

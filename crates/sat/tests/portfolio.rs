@@ -1,0 +1,200 @@
+//! Portfolio integration tests: the racing engine must be
+//! outcome-equivalent to the sequential solver on both satisfiable and
+//! unsatisfiable instances, and a finished race must leave clean
+//! accounting behind (losers cancelled, spans balanced).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ril_netlist::generators;
+use ril_sat::{
+    encode_netlist_into, Budget, Cnf, Lit, Outcome, Portfolio, Session, SolverConfig, Var,
+};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// A random k-SAT instance around the solvable side of the phase
+/// transition: mixes easy-SAT and genuinely UNSAT cases across seeds.
+fn random_cnf(seed: u64, vars: usize, clauses: usize) -> Cnf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cnf = Cnf::new();
+    for _ in 0..vars {
+        cnf.new_var();
+    }
+    for _ in 0..clauses {
+        let mut lits = Vec::with_capacity(3);
+        while lits.len() < 3 {
+            let v = rng.gen_range(0..vars);
+            if lits.iter().all(|l: &Lit| l.var().index() != v) {
+                lits.push(Lit::new(v, rng.gen()));
+            }
+        }
+        cnf.add_clause(lits);
+    }
+    cnf
+}
+
+fn satisfies(cnf: &Cnf, model: &[bool]) -> bool {
+    cnf.clauses()
+        .iter()
+        .all(|clause| clause.iter().any(|l| model[l.var().index()] == l.target()))
+}
+
+/// The miter `a ≢ b` over shared inputs: SAT iff the circuits differ.
+fn miter_cnf(a: &ril_netlist::Netlist, b: &ril_netlist::Netlist) -> Cnf {
+    let mut cnf = Cnf::new();
+    let va = encode_netlist_into(a, &mut cnf, &HashMap::new()).expect("combinational");
+    let pinned: HashMap<_, Var> = b
+        .inputs()
+        .iter()
+        .zip(a.inputs())
+        .map(|(&bi, &ai)| (bi, va.var(ai)))
+        .collect();
+    let vb = encode_netlist_into(b, &mut cnf, &pinned).expect("combinational");
+    let mut diff = Vec::new();
+    for (&oa, &ob) in a.outputs().iter().zip(b.outputs()) {
+        let x = cnf.new_var().positive();
+        let (la, lb) = (va.lit(oa), vb.lit(ob));
+        cnf.add_clause([!x, la, lb]);
+        cnf.add_clause([!x, !la, !lb]);
+        cnf.add_clause([x, !la, lb]);
+        cnf.add_clause([x, la, !lb]);
+        diff.push(x);
+    }
+    cnf.add_clause(diff);
+    cnf
+}
+
+fn solve_with_threads(cnf: &Cnf, threads: usize) -> (Outcome, Option<Vec<bool>>) {
+    let cfg = SolverConfig::default()
+        .with_threads(threads)
+        .expect("valid thread count");
+    let mut session = Session::from_cnf_with_config(cnf, cfg);
+    session.set_budget(Budget::from_timeout(Some(Duration::from_secs(30))));
+    let outcome = session.solve();
+    let model = (outcome == Outcome::Sat).then(|| session.model().to_vec());
+    (outcome, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sequential and portfolio sessions agree on random 3-SAT, and any
+    /// model either returns actually satisfies the formula.
+    #[test]
+    fn portfolio_agrees_with_sequential_on_random_cnf(seed in 0u64..5000) {
+        let cnf = random_cnf(seed, 40, 170);
+        let (seq, seq_model) = solve_with_threads(&cnf, 1);
+        let (par, par_model) = solve_with_threads(&cnf, 4);
+        prop_assert_ne!(seq, Outcome::Unknown, "sequential exhausted budget");
+        prop_assert_eq!(seq, par, "engines disagree on seed {}", seed);
+        if let Some(m) = seq_model {
+            prop_assert!(satisfies(&cnf, &m));
+        }
+        if let Some(m) = par_model {
+            prop_assert!(satisfies(&cnf, &m));
+        }
+    }
+
+    /// Obfuscated-miter-shaped instances: the self-miter of a random
+    /// circuit is UNSAT and the miter of two different random circuits is
+    /// (almost always) SAT — both engines must return the same verdict.
+    #[test]
+    fn portfolio_agrees_on_circuit_miters(seed in 0u64..2000) {
+        let a = generators::random_circuit(seed, 6, 40, 4);
+        let self_miter = miter_cnf(&a, &a);
+        let (seq, _) = solve_with_threads(&self_miter, 1);
+        let (par, _) = solve_with_threads(&self_miter, 4);
+        prop_assert_eq!(seq, Outcome::Unsat, "a circuit differs from itself");
+        prop_assert_eq!(par, Outcome::Unsat);
+
+        let b = generators::random_circuit(seed.wrapping_add(1), 6, 40, 4);
+        let cross = miter_cnf(&a, &b);
+        let (seq, seq_model) = solve_with_threads(&cross, 1);
+        let (par, par_model) = solve_with_threads(&cross, 4);
+        prop_assert_eq!(seq, par, "engines disagree on cross-miter seed {}", seed);
+        if let Some(m) = seq_model {
+            prop_assert!(satisfies(&cross, &m));
+        }
+        if let Some(m) = par_model {
+            prop_assert!(satisfies(&cross, &m));
+        }
+    }
+}
+
+/// A race finishes as soon as one worker answers: the losers are stopped
+/// instead of running out their (deliberately generous) budget, and the
+/// accounting stays consistent across repeated races.
+#[test]
+fn losing_workers_are_cancelled_promptly() {
+    // Hard enough that workers are genuinely mid-search when the winner
+    // lands, easy enough to answer in well under a second.
+    let cnf = random_cnf(99, 60, 250);
+    let cfg = SolverConfig::default().with_threads(4).expect("valid");
+    let mut portfolio = Portfolio::new(&cfg);
+    portfolio.append_cnf(&cnf);
+    portfolio.set_budget(Budget::from_timeout(Some(Duration::from_secs(120))));
+
+    let start = Instant::now();
+    let first = portfolio.solve();
+    let second = portfolio.solve();
+    let elapsed = start.elapsed();
+    assert_ne!(first, Outcome::Unknown);
+    assert_eq!(first, second, "a solved instance must stay solved");
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "races must not wait out the 120 s budget (took {elapsed:?})"
+    );
+
+    let stats = portfolio.portfolio_stats();
+    assert_eq!(stats.workers, 4);
+    assert_eq!(stats.races, 2);
+    assert_eq!(
+        stats.wins.iter().sum::<u64>(),
+        2,
+        "exactly one winner per race: {:?}",
+        stats.wins
+    );
+    assert!(
+        stats.cancelled <= 2 * (stats.workers as u64 - 1),
+        "at most workers-1 losers per race can be cancelled: {stats:?}"
+    );
+    assert!(portfolio.last_winner().is_some());
+}
+
+/// Worker spans nest under the session's `solve` span, stay balanced
+/// (every begin has an end), and name exactly one winner per race.
+#[test]
+fn portfolio_race_leaves_balanced_spans() {
+    let tracer = ril_trace::Tracer::new();
+    let root = tracer.open_root("test", ril_trace::Phase::Experiment);
+    {
+        let _guard = tracer.install(root);
+        let cnf = random_cnf(7, 40, 170);
+        let cfg = SolverConfig::default().with_threads(3).expect("valid");
+        let mut session = Session::from_cnf_with_config(&cnf, cfg);
+        assert_ne!(session.solve(), Outcome::Unknown);
+    }
+    tracer.close(root);
+
+    let jsonl = tracer.spans_jsonl();
+    let begins = jsonl
+        .lines()
+        .filter(|l| l.contains(r#""ev":"begin""#))
+        .count();
+    let ends = jsonl
+        .lines()
+        .filter(|l| l.contains(r#""ev":"end""#))
+        .count();
+    assert_eq!(begins, ends, "unbalanced spans:\n{jsonl}");
+    let worker_spans = jsonl
+        .lines()
+        .filter(|l| l.contains(r#""name":"solve_worker""#))
+        .count();
+    assert_eq!(worker_spans, 3, "one begin per worker:\n{jsonl}");
+    let winners = jsonl
+        .lines()
+        .filter(|l| l.contains(r#""winner":true"#))
+        .count();
+    assert_eq!(winners, 1, "exactly one worker wins the race:\n{jsonl}");
+}

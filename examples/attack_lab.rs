@@ -6,9 +6,7 @@
 //! RIL_TIMEOUT_SECS=20 cargo run --release --example attack_lab
 //! ```
 
-use ril_blocks::attacks::{
-    removal_attack, run_appsat, run_sat_attack, AppSatConfig, SatAttackConfig,
-};
+use ril_blocks::attacks::{run_attack, AttackConfig, AttackKind};
 use ril_blocks::core::baselines::sfll_lock;
 use ril_blocks::core::{KeyBitKind, Obfuscator, RilBlockSpec};
 use ril_blocks::netlist::generators;
@@ -16,8 +14,7 @@ use ril_blocks::netlist::generators;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let host = generators::multiplier(6);
     println!("host: {} ({} gates)\n", host.name(), host.gate_count());
-    let sat_cfg = SatAttackConfig::default();
-    let app_cfg = AppSatConfig::default();
+    let cfg = AttackConfig::default();
 
     // --- Round 1: a lightly locked design, no SE defense ------------------
     let plain = Obfuscator::new(RilBlockSpec::size_2x2())
@@ -28,11 +25,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "[1] 3 × 2x2 RIL-Blocks, no scan defense ({} key bits)",
         plain.key_width()
     );
-    let report = run_sat_attack(&plain, &sat_cfg)?;
+    let report = run_attack(AttackKind::Sat, &plain, &cfg)?.report;
     println!("    SAT attack: {report}");
-    let report = run_appsat(&plain, &app_cfg)?;
+    let report = run_attack(AttackKind::AppSat, &plain, &cfg)?.report;
     println!("    AppSAT:     {report}");
-    let removal = removal_attack(&plain, 32, 1)?;
+    let removal_cfg = AttackConfig {
+        patterns: 32,
+        seed: 1,
+        ..cfg.clone()
+    };
+    let removal = run_attack(AttackKind::Removal, &plain, &removal_cfg)?
+        .removal
+        .expect("removal outcome carries its native report");
     println!(
         "    Removal:    {} gates stripped, salvage error {:.2} % (fails: functions live in the keys)",
         removal.removed_gates,
@@ -60,9 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let armed = armed.expect("a seed with an armed SE key");
     println!("\n[2] Same lock + Scan-Enable defense armed");
-    let report = run_sat_attack(&armed, &sat_cfg)?;
+    let report = run_attack(AttackKind::Sat, &armed, &cfg)?.report;
     println!("    SAT attack: {report}");
-    let report = run_appsat(&armed, &app_cfg)?;
+    let report = run_attack(AttackKind::AppSat, &armed, &cfg)?.report;
     println!("    AppSAT:     {report}");
     println!("    (every oracle access asserts SE → corrupted responses → no usable key)");
 
@@ -72,7 +76,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n[3] SFLL-style point-function baseline ({} key bits)",
         sfll.key_width()
     );
-    let removal = removal_attack(&sfll, 32, 2)?;
+    let removal = run_attack(
+        AttackKind::Removal,
+        &sfll,
+        &AttackConfig {
+            patterns: 32,
+            seed: 2,
+            ..cfg
+        },
+    )?
+    .removal
+    .expect("removal outcome carries its native report");
     println!(
         "    Removal+bypass: salvage error {:.4} % — the restore unit peels right off",
         removal.error_rate * 100.0

@@ -12,7 +12,9 @@
 //! `KEYINPUT` order (what `lock` writes). `attack` builds the activated-IC
 //! oracle from the locked netlist plus that key, then plays the adversary.
 
-use ril_blocks::attacks::{appsat_attack, sat_attack, AppSatConfig, Oracle, SatAttackConfig};
+use ril_blocks::attacks::appsat::appsat_attack;
+use ril_blocks::attacks::satattack::sat_attack;
+use ril_blocks::attacks::{AppSatConfig, Oracle, SatAttackConfig};
 use ril_blocks::core::key::{KeyBitKind, KeyStore};
 use ril_blocks::core::{LockedCircuit, Obfuscator, RilBlockSpec};
 use ril_blocks::netlist::{parse_bench, parse_verilog, write_bench, write_verilog, Netlist};

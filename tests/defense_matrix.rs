@@ -4,9 +4,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ril_blocks::attacks::{
-    output_inversion_lock, removal_attack, run_sat_attack, scansat_attack, SatAttackConfig,
-};
+use ril_blocks::attacks::{output_inversion_lock, run_attack, AttackConfig, AttackKind};
 use ril_blocks::core::baselines::{antisat_lock, sfll_lock, xor_lock};
 use ril_blocks::core::metrics::output_corruptibility;
 use ril_blocks::core::{Obfuscator, RilBlockSpec};
@@ -14,10 +12,10 @@ use ril_blocks::netlist::generators;
 use ril_blocks::sca::{key_recovery_rate, LutTechnology};
 use std::time::Duration;
 
-fn cfg() -> SatAttackConfig {
-    SatAttackConfig {
+fn cfg() -> AttackConfig {
+    AttackConfig {
         timeout: Some(Duration::from_secs(45)),
-        ..SatAttackConfig::default()
+        ..AttackConfig::default()
     }
 }
 
@@ -29,7 +27,9 @@ fn sat_attack_breaks_all_small_baselines() {
         ("antisat", antisat_lock(&host, 4, 2).expect("lock")),
         ("sfll", sfll_lock(&host, 5, 3).expect("lock")),
     ] {
-        let report = run_sat_attack(&locked, &cfg()).expect("sim ok");
+        let report = run_attack(AttackKind::Sat, &locked, &cfg())
+            .expect("sim ok")
+            .report;
         assert!(report.result.succeeded(), "{name}: {report}");
         assert_eq!(report.functionally_correct, Some(true), "{name}");
     }
@@ -47,7 +47,9 @@ fn more_ril_blocks_take_more_iterations() {
             .seed(42)
             .obfuscate(&host)
             .expect("lock");
-        let report = run_sat_attack(&locked, &cfg()).expect("sim ok");
+        let report = run_attack(AttackKind::Sat, &locked, &cfg())
+            .expect("sim ok")
+            .report;
         assert!(report.result.succeeded(), "{blocks} blocks: {report}");
         iters.push(report.iterations);
     }
@@ -67,8 +69,19 @@ fn removal_splits_point_functions_from_ril() {
         .seed(5)
         .obfuscate(&host)
         .expect("lock");
-    let r_sfll = removal_attack(&sfll, 32, 1).expect("sim ok");
-    let r_ril = removal_attack(&ril, 32, 1).expect("sim ok");
+    let removal_cfg = AttackConfig {
+        patterns: 32,
+        seed: 1,
+        ..cfg()
+    };
+    let r_sfll = run_attack(AttackKind::Removal, &sfll, &removal_cfg)
+        .expect("sim ok")
+        .removal
+        .expect("native removal report");
+    let r_ril = run_attack(AttackKind::Removal, &ril, &removal_cfg)
+        .expect("sim ok")
+        .removal
+        .expect("native removal report");
     assert!(r_sfll.error_rate < 0.01, "sfll {}", r_sfll.error_rate);
     assert!(r_ril.error_rate > 0.01, "ril {}", r_ril.error_rate);
 }
@@ -77,7 +90,9 @@ fn removal_splits_point_functions_from_ril() {
 fn scansat_separates_boundary_from_internal_inversion() {
     let host = generators::adder(6);
     let boundary = output_inversion_lock(&host, 7).expect("lock");
-    let report = scansat_attack(&boundary, &cfg()).expect("sim ok");
+    let report = run_attack(AttackKind::ScanSat, &boundary, &cfg())
+        .expect("sim ok")
+        .report;
     assert!(report.result.succeeded());
     assert_eq!(report.functionally_correct, Some(true), "{report}");
 }

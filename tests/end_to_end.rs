@@ -2,18 +2,16 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ril_blocks::attacks::{
-    attacker_view, removal_attack, run_appsat, run_sat_attack, AppSatConfig, Oracle,
-    SatAttackConfig,
-};
+use ril_blocks::attacks::satattack::sat_attack;
+use ril_blocks::attacks::{attacker_view, run_attack, AttackConfig, AttackKind, Oracle};
 use ril_blocks::core::{morph_all, InsertionPolicy, KeyBitKind, Obfuscator, RilBlockSpec};
 use ril_blocks::netlist::{generators, parse_bench, write_bench, Simulator};
 use std::time::Duration;
 
-fn fast_sat() -> SatAttackConfig {
-    SatAttackConfig {
+fn fast_cfg() -> AttackConfig {
+    AttackConfig {
         timeout: Some(Duration::from_secs(45)),
-        ..SatAttackConfig::default()
+        ..AttackConfig::default()
     }
 }
 
@@ -31,7 +29,7 @@ fn lock_export_reimport_attack_verify() {
     assert_eq!(reimported.key_inputs().len(), locked.key_width());
 
     let mut oracle = Oracle::new(&locked).expect("oracle");
-    let report = ril_blocks::attacks::sat_attack(&reimported, &mut oracle, &fast_sat());
+    let report = sat_attack(&reimported, &mut oracle, &fast_cfg().sat_config());
     let key = report.result.key().expect("attack succeeds on 2x2 blocks");
     assert!(locked.equivalent_under_key(key, 32).expect("sim ok"));
 }
@@ -88,7 +86,9 @@ fn morph_then_attack_key_is_still_recoverable_but_different() {
         }
     }
     assert!(locked.verify(16).expect("sim ok"));
-    let report = run_sat_attack(&locked, &fast_sat()).expect("sim ok");
+    let report = run_attack(AttackKind::Sat, &locked, &fast_cfg())
+        .expect("sim ok")
+        .report;
     assert!(report.result.succeeded());
     assert_eq!(report.functionally_correct, Some(true));
     // The stored correct key differs from the pre-morph one.
@@ -119,22 +119,30 @@ fn se_defense_blocks_sat_appsat_and_removal_together() {
     }
     let locked = armed.expect("armed SE lock");
 
-    let sat = run_sat_attack(&locked, &fast_sat()).expect("sim ok");
+    let sat = run_attack(AttackKind::Sat, &locked, &fast_cfg())
+        .expect("sim ok")
+        .report;
     let sat_defended = !sat.result.succeeded() || sat.functionally_correct == Some(false);
     assert!(sat_defended, "SAT: {sat}");
 
-    let app = run_appsat(
-        &locked,
-        &AppSatConfig {
-            timeout: Some(Duration::from_secs(45)),
-            ..AppSatConfig::default()
-        },
-    )
-    .expect("sim ok");
+    let app = run_attack(AttackKind::AppSat, &locked, &fast_cfg())
+        .expect("sim ok")
+        .report;
     let app_defended = !app.result.succeeded() || app.functionally_correct == Some(false);
     assert!(app_defended, "AppSAT: {app}");
 
-    let rem = removal_attack(&locked, 16, 1).expect("sim ok");
+    let rem = run_attack(
+        AttackKind::Removal,
+        &locked,
+        &AttackConfig {
+            patterns: 16,
+            seed: 1,
+            ..fast_cfg()
+        },
+    )
+    .expect("sim ok")
+    .removal
+    .expect("removal outcome carries its native report");
     assert!(
         rem.error_rate > 0.01,
         "removal salvage error {}",
@@ -174,7 +182,9 @@ fn sequential_design_locks_through_the_scan_model() {
         .obfuscate(&seq)
         .expect("lock");
     assert!(locked.verify(16).expect("sim ok"));
-    let report = run_sat_attack(&locked, &fast_sat()).expect("sim ok");
+    let report = run_attack(AttackKind::Sat, &locked, &fast_cfg())
+        .expect("sim ok")
+        .report;
     assert!(report.result.succeeded(), "{report}");
     assert_eq!(report.functionally_correct, Some(true));
 }
@@ -186,7 +196,9 @@ fn oracle_query_accounting_matches_attack_iterations() {
         .seed(13)
         .obfuscate(&host)
         .expect("lock");
-    let report = run_sat_attack(&locked, &fast_sat()).expect("sim ok");
+    let report = run_attack(AttackKind::Sat, &locked, &fast_cfg())
+        .expect("sim ok")
+        .report;
     // The plain SAT attack queries exactly once per DIP iteration.
     assert_eq!(report.oracle_queries, report.iterations as u64);
 }

@@ -1,7 +1,8 @@
 //! Format-interchange integration: the locked design survives `.bench` and
 //! structural-Verilog round trips and stays attackable/verifiable.
 
-use ril_blocks::attacks::{sat_attack, Oracle, SatAttackConfig};
+use ril_blocks::attacks::satattack::sat_attack;
+use ril_blocks::attacks::{Oracle, SatAttackConfig};
 use ril_blocks::core::{Obfuscator, RilBlockSpec};
 use ril_blocks::netlist::{
     generators, optimize, parse_bench, parse_verilog, write_bench, write_verilog,
