@@ -9,7 +9,7 @@
 //! inconsistent with the oracle and it "fails and terminates erroneously"
 //! (paper Table III, ✗ column).
 
-use crate::oracle::{attacker_view, Oracle};
+use crate::oracle::{attacker_view, Oracle, OracleSource};
 use crate::report::{AttackReport, AttackResult};
 use crate::satattack::default_timeout;
 use crate::session::{AttackSession, DipStep};
@@ -53,12 +53,16 @@ impl Default for AppSatConfig {
     }
 }
 
-/// Runs AppSAT against an attacker-view netlist and oracle.
+/// Runs AppSAT against an attacker-view netlist and an oracle source.
 ///
 /// # Panics
 ///
 /// Panics if the netlist has no key inputs or widths mismatch the oracle.
-pub fn appsat_attack(nl: &Netlist, oracle: &mut Oracle, cfg: &AppSatConfig) -> AttackReport {
+pub fn appsat_attack(
+    nl: &Netlist,
+    oracle: &mut dyn OracleSource,
+    cfg: &AppSatConfig,
+) -> AttackReport {
     let mut span = ril_trace::span("appsat", ril_trace::Phase::Attack);
     let report = appsat_attack_inner(nl, oracle, cfg);
     if span.is_active() {
@@ -70,7 +74,11 @@ pub fn appsat_attack(nl: &Netlist, oracle: &mut Oracle, cfg: &AppSatConfig) -> A
     report
 }
 
-fn appsat_attack_inner(nl: &Netlist, oracle: &mut Oracle, cfg: &AppSatConfig) -> AttackReport {
+fn appsat_attack_inner(
+    nl: &Netlist,
+    oracle: &mut dyn OracleSource,
+    cfg: &AppSatConfig,
+) -> AttackReport {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut sess = AttackSession::new(
         nl,
@@ -94,6 +102,9 @@ fn appsat_attack_inner(nl: &Netlist, oracle: &mut Oracle, cfg: &AppSatConfig) ->
                             .into(),
                     ),
                 )
+            }
+            DipStep::OracleFailed(e) => {
+                return sess.report(oracle, AttackResult::Failed(format!("oracle failure: {e}")))
             }
             DipStep::Converged => {
                 // Converged exactly — extract like the plain SAT attack.
@@ -130,7 +141,13 @@ fn appsat_attack_inner(nl: &Netlist, oracle: &mut Oracle, cfg: &AppSatConfig) ->
             let mut total_bits = 0usize;
             for _ in 0..cfg.queries_per_estimate {
                 let probe: Vec<bool> = (0..oracle.input_width()).map(|_| rng.gen()).collect();
-                let truth = oracle.query(&probe);
+                let truth = match oracle.try_query(&probe) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        return sess
+                            .report(oracle, AttackResult::Failed(format!("oracle failure: {e}")))
+                    }
+                };
                 let mut full = vec![false; sess.inst.input_vars.len()];
                 for (slot, &pos) in sess.inst.oracle_positions.iter().enumerate() {
                     full[pos] = probe[slot];

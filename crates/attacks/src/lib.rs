@@ -61,12 +61,12 @@ pub use attack::{
     default_solver_threads, run_attack, AppSatAttack, Attack, AttackConfig, AttackKind,
     AttackOutcome, RemovalAttack, SatAttack, ScanSatAttack,
 };
-pub use oracle::{attacker_view, Oracle};
+pub use oracle::{attacker_view, Oracle, OracleError, OracleSource};
 pub use preprocess::{bva_stats, encoding_stats, EncodingStats};
 pub use removal::RemovalReport;
 pub use report::{AttackReport, AttackResult, IterationStats};
 pub use satattack::{default_timeout, SatAttackConfig};
-pub use scansat::output_inversion_lock;
+pub use scansat::{output_inversion_lock, scansat_model_attack};
 
 // Deprecated entry points, re-exported for compatibility. The oracle-level
 // drivers (`satattack::sat_attack`, `appsat::appsat_attack`) stay at their

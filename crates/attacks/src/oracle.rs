@@ -9,17 +9,93 @@
 //! not observable bit-exactly by the attacker.
 
 use ril_core::{LockedCircuit, SE_PIN};
-use ril_netlist::{GateKind, Netlist, NetlistError, Simulator};
+use ril_netlist::{CompiledSim, GateKind, Netlist, NetlistError};
+use std::collections::HashMap;
+
+/// A failed oracle access, as seen by an attack.
+///
+/// The in-process [`Oracle`] never fails; [`OracleError`] exists for
+/// remote oracle sources (`ril-serve`'s `RemoteOracle`), whose transport
+/// and protocol failures must surface to the attack loop as typed values
+/// rather than panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// The oracle's host rejected the request with a typed protocol error
+    /// (unknown chip, rate limit, width mismatch, …).
+    Protocol {
+        /// Machine-readable error kind (the wire `kind` field).
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The transport failed even after the client's bounded retries.
+    Transport(String),
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::Protocol { kind, message } => {
+                write!(f, "oracle protocol error [{kind}]: {message}")
+            }
+            OracleError::Transport(msg) => write!(f, "oracle transport error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// A black-box oracle an oracle-guided attack can query.
+///
+/// Implemented by the in-process [`Oracle`] (infallible) and by
+/// `ril-serve`'s `RemoteOracle` (fallible: network transport, morphing
+/// target). The attack drivers ([`crate::satattack::sat_attack`],
+/// [`crate::appsat::appsat_attack`], …) only speak this trait, so they run
+/// unchanged against either.
+pub trait OracleSource {
+    /// Number of data inputs per query (excluding any hidden `SE` pin).
+    fn input_width(&self) -> usize;
+    /// Number of outputs per response.
+    fn output_width(&self) -> usize;
+    /// Applies one input pattern through the scan interface and returns
+    /// the response.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures for remote sources; in-process
+    /// oracles never fail.
+    fn try_query(&mut self, inputs: &[bool]) -> Result<Vec<bool>, OracleError>;
+    /// Chip accesses issued so far (cache hits excluded).
+    fn queries(&self) -> u64;
+    /// The target's key generation, when the source exposes one (a
+    /// morphing remote chip bumps it on every re-key). `None` for static
+    /// in-process oracles.
+    fn generation(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Repeated-DIP memo entries kept per oracle before insertion stops.
+/// Bounds memory on adversarial query streams; typical attacks stay far
+/// below it.
+const MEMO_CAP: usize = 4096;
 
 /// Query-counting black-box oracle over an activated chip.
+///
+/// Holds only the compiled evaluation plan ([`CompiledSim`]) plus the
+/// burned-in key — not a second [`Netlist`] clone. Repeated scan queries
+/// for the same pattern are served from a bounded memo cache (the chip is
+/// deterministic between re-keys), counted via the `oracle.cache_hit`
+/// trace counter instead of touching the chip.
 #[derive(Debug, Clone)]
 pub struct Oracle {
-    netlist: Netlist,
-    sim: Simulator,
+    sim: CompiledSim,
     key_words: Vec<u64>,
     has_se: bool,
     scan_corrupted: bool,
     queries: u64,
+    memo: HashMap<Vec<bool>, Vec<bool>>,
+    memo_hits: u64,
 }
 
 impl Oracle {
@@ -31,14 +107,15 @@ impl Oracle {
     ///
     /// Propagates simulator construction failures.
     pub fn new(locked: &LockedCircuit) -> Result<Oracle, NetlistError> {
-        let sim = Simulator::new(&locked.netlist)?;
+        let sim = CompiledSim::new(&locked.netlist)?;
         Ok(Oracle {
-            netlist: locked.netlist.clone(),
             sim,
             key_words: locked.keys.as_words(),
             has_se: locked.netlist.net_id(SE_PIN).is_some(),
             scan_corrupted: true,
             queries: 0,
+            memo: HashMap::new(),
+            memo_hits: 0,
         })
     }
 
@@ -47,65 +124,108 @@ impl Oracle {
     /// the SE defense is absent).
     pub fn without_scan_corruption(mut self) -> Oracle {
         self.scan_corrupted = false;
+        self.memo.clear();
         self
+    }
+
+    /// Re-burns the key after a morph of the *same* design: the chip keeps
+    /// its circuit but answers under the new key, so the memo cache is
+    /// invalidated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locked`'s key width differs from the compiled design's.
+    pub fn rekey(&mut self, locked: &LockedCircuit) {
+        let words = locked.keys.as_words();
+        assert_eq!(words.len(), self.key_words.len(), "rekey width mismatch");
+        self.key_words = words;
+        self.memo.clear();
     }
 
     /// Number of data inputs the oracle expects per query (excluding the
     /// SE pin).
     pub fn input_width(&self) -> usize {
-        self.netlist.data_inputs().len() - usize::from(self.has_se)
+        self.sim.data_width() - usize::from(self.has_se)
     }
 
     /// Number of outputs per response.
     pub fn output_width(&self) -> usize {
-        self.netlist.outputs().len()
+        self.sim.output_width()
+    }
+
+    fn eval(&mut self, inputs: &[bool], se: bool) -> Vec<bool> {
+        let mut data: Vec<u64> = inputs
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect();
+        if self.has_se {
+            data.push(if se { u64::MAX } else { 0 });
+        }
+        self.sim
+            .eval_words(&data, &self.key_words)
+            .into_iter()
+            .map(|w| w & 1 == 1)
+            .collect()
     }
 
     /// Applies one input pattern through the scan interface and returns
     /// the response. With the SE defense present and corruption enabled,
-    /// `SE = 1` during the access.
+    /// `SE = 1` during the access. A repeated pattern is answered from
+    /// the memo cache without a chip access (and without bumping
+    /// [`Oracle::queries`]).
     ///
     /// # Panics
     ///
     /// Panics if `inputs.len() != self.input_width()`.
     pub fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
         assert_eq!(inputs.len(), self.input_width(), "oracle input width");
-        self.queries += 1;
-        let mut data: Vec<u64> = inputs
-            .iter()
-            .map(|&b| if b { u64::MAX } else { 0 })
-            .collect();
-        if self.has_se {
-            data.push(if self.scan_corrupted { u64::MAX } else { 0 });
+        if let Some(cached) = self.memo.get(inputs) {
+            self.memo_hits += 1;
+            ril_trace::counter("oracle.cache_hit", 1);
+            return cached.clone();
         }
-        self.sim
-            .eval_words(&self.netlist, &data, &self.key_words)
-            .into_iter()
-            .map(|w| w & 1 == 1)
-            .collect()
+        self.queries += 1;
+        let response = self.eval(inputs, self.scan_corrupted);
+        if self.memo.len() < MEMO_CAP {
+            self.memo.insert(inputs.to_vec(), response.clone());
+        }
+        response
     }
 
     /// Ground-truth functional response (`SE = 0`) — available to the
-    /// evaluation harness, *not* to attacks.
+    /// evaluation harness, *not* to attacks. Never cached (it is not a
+    /// scan access).
     pub fn functional_response(&mut self, inputs: &[bool]) -> Vec<bool> {
         assert_eq!(inputs.len(), self.input_width(), "oracle input width");
-        let mut data: Vec<u64> = inputs
-            .iter()
-            .map(|&b| if b { u64::MAX } else { 0 })
-            .collect();
-        if self.has_se {
-            data.push(0);
-        }
-        self.sim
-            .eval_words(&self.netlist, &data, &self.key_words)
-            .into_iter()
-            .map(|w| w & 1 == 1)
-            .collect()
+        self.eval(inputs, false)
     }
 
-    /// Queries issued so far (scan queries only).
+    /// Queries issued so far (scan chip accesses; memo hits excluded).
     pub fn queries(&self) -> u64 {
         self.queries
+    }
+
+    /// Scan queries answered from the memo cache instead of the chip.
+    pub fn cache_hits(&self) -> u64 {
+        self.memo_hits
+    }
+}
+
+impl OracleSource for Oracle {
+    fn input_width(&self) -> usize {
+        Oracle::input_width(self)
+    }
+
+    fn output_width(&self) -> usize {
+        Oracle::output_width(self)
+    }
+
+    fn try_query(&mut self, inputs: &[bool]) -> Result<Vec<bool>, OracleError> {
+        Ok(self.query(inputs))
+    }
+
+    fn queries(&self) -> u64 {
+        Oracle::queries(self)
     }
 }
 
@@ -132,7 +252,7 @@ pub fn attacker_view(locked: &LockedCircuit) -> Netlist {
 mod tests {
     use super::*;
     use ril_core::{Obfuscator, RilBlockSpec};
-    use ril_netlist::generators;
+    use ril_netlist::{generators, Simulator};
 
     fn locked(scan: bool) -> LockedCircuit {
         let host = generators::adder(6);
@@ -204,6 +324,62 @@ mod tests {
             let bits: Vec<bool> = (0..w).map(|i| (pattern >> i) & 1 == 1).collect();
             assert_eq!(honest.query(&bits), honest.functional_response(&bits));
         }
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_memo_cache() {
+        let lc = locked(true);
+        let mut oracle = Oracle::new(&lc).unwrap();
+        let w = oracle.input_width();
+        let bits: Vec<bool> = (0..w).map(|i| i % 2 == 0).collect();
+        let first = oracle.query(&bits);
+        assert_eq!(oracle.queries(), 1);
+        assert_eq!(oracle.cache_hits(), 0);
+        let second = oracle.query(&bits);
+        assert_eq!(first, second);
+        assert_eq!(oracle.queries(), 1, "cache hit must not touch the chip");
+        assert_eq!(oracle.cache_hits(), 1);
+        // A different pattern is a real chip access again.
+        let other: Vec<bool> = (0..w).map(|i| i % 2 == 1).collect();
+        oracle.query(&other);
+        assert_eq!(oracle.queries(), 2);
+    }
+
+    #[test]
+    fn rekey_invalidates_the_memo_cache() {
+        use rand::SeedableRng;
+        let mut lc = locked(true);
+        let mut oracle = Oracle::new(&lc).unwrap();
+        let w = oracle.input_width();
+        let bits: Vec<bool> = (0..w).map(|i| i % 3 == 0).collect();
+        let functional_before = oracle.functional_response(&bits);
+        oracle.query(&bits);
+        oracle.query(&bits);
+        assert_eq!(oracle.cache_hits(), 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        ril_core::morph_all(&mut lc, &mut rng);
+        oracle.rekey(&lc);
+        let after = oracle.query(&bits);
+        assert_eq!(
+            oracle.queries(),
+            2,
+            "post-rekey query must re-evaluate, not reuse the stale memo"
+        );
+        // Morphing never changes functional behaviour; scan responses may
+        // differ, but the fresh memo must hold the new generation's answer.
+        assert_eq!(oracle.functional_response(&bits), functional_before);
+        assert_eq!(oracle.query(&bits), after);
+    }
+
+    #[test]
+    fn oracle_as_source_is_infallible() {
+        let lc = locked(false);
+        let mut oracle = Oracle::new(&lc).unwrap();
+        let w = OracleSource::input_width(&oracle);
+        let bits = vec![false; w];
+        let via_trait = oracle.try_query(&bits).unwrap();
+        assert_eq!(via_trait.len(), OracleSource::output_width(&oracle));
+        assert_eq!(oracle.generation(), None);
     }
 
     #[test]

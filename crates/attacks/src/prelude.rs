@@ -7,7 +7,7 @@ pub use crate::attack::{
     default_solver_threads, run_attack, AppSatAttack, Attack, AttackConfig, AttackKind,
     AttackOutcome, RemovalAttack, SatAttack, ScanSatAttack,
 };
-pub use crate::oracle::{attacker_view, Oracle};
+pub use crate::oracle::{attacker_view, Oracle, OracleError, OracleSource};
 pub use crate::removal::RemovalReport;
 pub use crate::report::{AttackReport, AttackResult, IterationStats};
 pub use crate::satattack::{default_timeout, SatAttackConfig};

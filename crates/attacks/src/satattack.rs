@@ -11,7 +11,7 @@
 //! the miter goes UNSAT, all surviving keys are I/O-equivalent and one is
 //! extracted.
 
-use crate::oracle::{attacker_view, Oracle};
+use crate::oracle::{attacker_view, Oracle, OracleSource};
 use crate::report::{AttackReport, AttackResult};
 use crate::session::{AttackSession, DipStep};
 use ril_core::LockedCircuit;
@@ -55,7 +55,8 @@ pub fn default_timeout() -> Duration {
         .unwrap_or(Duration::from_secs(60))
 }
 
-/// Runs the SAT attack against an attacker-view netlist and an oracle.
+/// Runs the SAT attack against an attacker-view netlist and an oracle
+/// source (in-process [`Oracle`] or a remote one).
 ///
 /// The report's `functionally_correct` is left `None` (the attacker cannot
 /// check it); use [`run_sat_attack`] for the full harness flow.
@@ -64,13 +65,17 @@ pub fn default_timeout() -> Duration {
 ///
 /// Panics if the netlist has no key inputs or its data-input count does not
 /// match the oracle.
-pub fn sat_attack(nl: &Netlist, oracle: &mut Oracle, cfg: &SatAttackConfig) -> AttackReport {
+pub fn sat_attack(
+    nl: &Netlist,
+    oracle: &mut dyn OracleSource,
+    cfg: &SatAttackConfig,
+) -> AttackReport {
     sat_attack_inner(nl, oracle, cfg, None)
 }
 
 pub(crate) fn sat_attack_inner(
     nl: &Netlist,
-    oracle: &mut Oracle,
+    oracle: &mut dyn OracleSource,
     cfg: &SatAttackConfig,
     one_hot_meta: Option<&LockedCircuit>,
 ) -> AttackReport {
@@ -87,7 +92,7 @@ pub(crate) fn sat_attack_inner(
 
 fn sat_attack_loop(
     nl: &Netlist,
-    oracle: &mut Oracle,
+    oracle: &mut dyn OracleSource,
     cfg: &SatAttackConfig,
     one_hot_meta: Option<&LockedCircuit>,
 ) -> AttackReport {
@@ -113,6 +118,9 @@ fn sat_attack_loop(
                             .into(),
                     ),
                 )
+            }
+            DipStep::OracleFailed(e) => {
+                return sess.report(oracle, AttackResult::Failed(format!("oracle failure: {e}")))
             }
             // Miter UNSAT: every surviving key is I/O-equivalent.
             DipStep::Converged => break,

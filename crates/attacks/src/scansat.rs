@@ -14,7 +14,7 @@
 //! indistinguishable from a NOR, and neither hypothesis survives all
 //! patterns once the corruption mixes into wider cones).
 
-use crate::oracle::{attacker_view, Oracle};
+use crate::oracle::{attacker_view, Oracle, OracleSource};
 use crate::report::{AttackReport, AttackResult};
 use crate::satattack::SatAttackConfig;
 use crate::session::{AttackSession, DipStep};
@@ -102,11 +102,21 @@ pub(crate) fn scansat_attack_impl(
     Ok(report)
 }
 
-fn scansat_attack_inner(
-    locked: &LockedCircuit,
+/// Runs the ScanSAT model against an attacker-view netlist and an oracle
+/// source: the per-output inversion hypothesis is added to a copy of the
+/// view and the recovered key is truncated back to the view's real key
+/// bits. The report's `functionally_correct` is left `None` (an attacker
+/// on a remote oracle has no ground truth).
+///
+/// # Errors
+///
+/// Propagates netlist-augmentation failures.
+pub fn scansat_model_attack(
+    base_view: &Netlist,
+    oracle: &mut dyn OracleSource,
     cfg: &SatAttackConfig,
 ) -> Result<AttackReport, NetlistError> {
-    let mut view = attacker_view(locked);
+    let mut view = base_view.clone();
     let real_key_width = view.key_inputs().len();
     // Hypothesis: scan responses are output-masked. Add mask key vars.
     let outputs: Vec<_> = view.outputs().to_vec();
@@ -116,10 +126,9 @@ fn scansat_attack_inner(
         view.redirect_consumers(out, spliced);
         view.add_gate(GateKind::Xor, &[out, m], spliced)?;
     }
-    let mut oracle = Oracle::new(locked)?;
     let mut sess = AttackSession::new(
         &view,
-        &oracle,
+        oracle,
         cfg.solver.clone(),
         None,
         cfg.timeout,
@@ -127,7 +136,7 @@ fn scansat_attack_inner(
     );
 
     let outcome = loop {
-        match sess.step(&mut oracle) {
+        match sess.step(oracle) {
             DipStep::Distinguished => {}
             DipStep::Budget => break AttackResult::Timeout,
             DipStep::OracleInconsistent => {
@@ -135,6 +144,7 @@ fn scansat_attack_inner(
                     "scan oracle contradicts key-independent logic (model/oracle mismatch)".into(),
                 )
             }
+            DipStep::OracleFailed(e) => break AttackResult::Failed(format!("oracle failure: {e}")),
             DipStep::Converged => {
                 let no_mask: Vec<Lit> = sess.inst.keyf[real_key_width..]
                     .iter()
@@ -155,14 +165,11 @@ fn scansat_attack_inner(
             }
         }
     };
-    let mut report = sess.report(&oracle, outcome);
+    let mut report = sess.report(oracle, outcome);
 
-    // Truncate mask bits; ground-truth check on the real key.
+    // Truncate the hypothetical mask bits off the recovered key.
     if let Some(key) = report.result.key() {
-        let _v = ril_trace::span("verify_key", ril_trace::Phase::Verify);
         let real: Vec<bool> = key[..real_key_width].to_vec();
-        let ok = locked.equivalent_under_key(&real, 32)?;
-        report.functionally_correct = Some(ok);
         report.result = match report.result {
             AttackResult::ExactKey(_) => AttackResult::ExactKey(real),
             AttackResult::ApproxKey { est_error, .. } => AttackResult::ApproxKey {
@@ -171,6 +178,24 @@ fn scansat_attack_inner(
             },
             other => other,
         };
+    }
+    Ok(report)
+}
+
+fn scansat_attack_inner(
+    locked: &LockedCircuit,
+    cfg: &SatAttackConfig,
+) -> Result<AttackReport, NetlistError> {
+    let view = attacker_view(locked);
+    let mut oracle = Oracle::new(locked)?;
+    let mut report = scansat_model_attack(&view, &mut oracle, cfg)?;
+
+    // Ground-truth functional check on the real key (harness only).
+    if let Some(key) = report.result.key() {
+        let _v = ril_trace::span("verify_key", ril_trace::Phase::Verify);
+        let real = key.to_vec();
+        let ok = locked.equivalent_under_key(&real, 32)?;
+        report.functionally_correct = Some(ok);
     }
     Ok(report)
 }

@@ -12,7 +12,7 @@
 //! [`AttackReport`].
 
 use crate::miter::AttackInstance;
-use crate::oracle::Oracle;
+use crate::oracle::{OracleError, OracleSource};
 use crate::report::{AttackReport, AttackResult, IterationStats};
 use ril_core::LockedCircuit;
 use ril_netlist::Netlist;
@@ -20,7 +20,7 @@ use ril_sat::{Budget, Outcome, SolverConfig};
 use std::time::{Duration, Instant};
 
 /// Outcome of one DIP iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum DipStep {
     /// A DIP was found, queried, and its constraint appended.
     Distinguished,
@@ -31,6 +31,8 @@ pub(crate) enum DipStep {
     /// The oracle's response contradicts key-independent logic — no key can
     /// explain the oracle (the Scan-Enable defense manifests here).
     OracleInconsistent,
+    /// The oracle access itself failed (remote transport/protocol error).
+    OracleFailed(OracleError),
 }
 
 /// One long-lived oracle-guided attack over a persistent
@@ -55,7 +57,7 @@ impl<'a> AttackSession<'a> {
     /// data-input count does not match the oracle.
     pub(crate) fn new(
         nl: &'a Netlist,
-        oracle: &Oracle,
+        oracle: &dyn OracleSource,
         solver_config: SolverConfig,
         one_hot_meta: Option<&LockedCircuit>,
         timeout: Option<Duration>,
@@ -87,7 +89,7 @@ impl<'a> AttackSession<'a> {
     /// session, oracle query, constraint append. Each iteration is an
     /// `iteration` trace span carrying the miter size and the cumulative
     /// DIP count (= I/O constraints pruning the key space so far).
-    pub(crate) fn step(&mut self, oracle: &mut Oracle) -> DipStep {
+    pub(crate) fn step(&mut self, oracle: &mut dyn OracleSource) -> DipStep {
         let mut span = ril_trace::span("iteration", ril_trace::Phase::Iteration);
         let step = self.step_inner(oracle);
         if span.is_active() {
@@ -98,6 +100,7 @@ impl<'a> AttackSession<'a> {
                     DipStep::Converged => "converged",
                     DipStep::Budget => "budget",
                     DipStep::OracleInconsistent => "oracle_inconsistent",
+                    DipStep::OracleFailed(_) => "oracle_failed",
                 },
             );
             span.record_u64("iteration", self.iterations as u64);
@@ -110,7 +113,7 @@ impl<'a> AttackSession<'a> {
         step
     }
 
-    fn step_inner(&mut self, oracle: &mut Oracle) -> DipStep {
+    fn step_inner(&mut self, oracle: &mut dyn OracleSource) -> DipStep {
         match self.remaining() {
             Some(left) if left.is_zero() => return DipStep::Budget,
             left => self.inst.miter.set_budget(Budget::from_timeout(left)),
@@ -126,7 +129,10 @@ impl<'a> AttackSession<'a> {
                 let dip_full = self.inst.dip_from_model();
                 let response = {
                     let _q = ril_trace::span("oracle_query", ril_trace::Phase::Other);
-                    oracle.query(&self.inst.oracle_dip(&dip_full))
+                    match oracle.try_query(&self.inst.oracle_dip(&dip_full)) {
+                        Ok(r) => r,
+                        Err(e) => return DipStep::OracleFailed(e),
+                    }
                 };
                 match self.inst.add_dip(self.nl, &dip_full, &response) {
                     Ok(()) => DipStep::Distinguished,
@@ -163,7 +169,7 @@ impl<'a> AttackSession<'a> {
 
     /// Finalizes the attack into an [`AttackReport`], lifting the miter
     /// session's per-solve records into per-iteration statistics.
-    pub(crate) fn report(&self, oracle: &Oracle, result: AttackResult) -> AttackReport {
+    pub(crate) fn report(&self, oracle: &dyn OracleSource, result: AttackResult) -> AttackReport {
         let iteration_stats = self
             .inst
             .miter

@@ -373,6 +373,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(crate::experiments::fig1::Fig1),
         Box::new(crate::experiments::lut_scaling::LutScaling),
         Box::new(crate::experiments::scan_defense::ScanDefense),
+        Box::new(crate::experiments::dynamic_defense::DynamicDefense),
         Box::new(crate::experiments::table1::Table1),
         Box::new(crate::experiments::table3::Table3),
         Box::new(crate::experiments::table5::Table5),
@@ -474,7 +475,7 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len(), "duplicate experiment names");
-        assert_eq!(names.len(), 12);
+        assert_eq!(names.len(), 13);
         for required in [
             "table1",
             "table3",
@@ -485,6 +486,7 @@ mod tests {
             "fig6",
             "overhead",
             "scan_defense",
+            "dynamic_defense",
             "corruptibility",
             "key_redundancy",
             "lut_scaling",

@@ -1,0 +1,212 @@
+//! The quantitative version of Table V's "dynamic morphing" row: the
+//! same SAT attack, the same c7552 host, but the oracle is a chip hosted
+//! by a live `ril-serve` instance whose morph scheduler re-keys it every
+//! K queries. As the morph period shrinks, iterations-to-key must grow —
+//! and past a point the attack stops converging at all, because each
+//! morph re-rolls the Scan-Enable keys and the accumulated DIP responses
+//! stop describing the chip being queried.
+//!
+//! Every cell is fully deterministic: the obfuscator, the server's morph
+//! RNG, and the solver are all seeded, so the sweep reproduces bit-for-bit
+//! and the monotonicity check below is a hard assertion, not a tendency.
+
+use ril_attacks::satattack::{sat_attack, SatAttackConfig};
+use ril_attacks::{attacker_view, AttackReport};
+use ril_serve::{ClientConfig, DesignSpec, RemoteOracle, ServeConfig, Server};
+
+use crate::cache::CacheKey;
+use crate::experiment::{Experiment, ExperimentError, ExperimentOutput, RunContext};
+use crate::experiments::cached_outcome;
+use crate::{print_table, CellOutcome, RunConfig};
+
+/// Morph-period sweep over a served, scheduler-driven chip.
+pub struct DynamicDefense;
+
+/// Morph periods, slowest first (`None` = scheduler off). The validation
+/// below walks this order, so it must stay sorted by shrinking period.
+const PERIODS: &[Option<u64>] = &[None, Some(4), Some(2), Some(1)];
+
+fn design() -> DesignSpec {
+    DesignSpec {
+        benchmark: "c7552".to_string(),
+        spec: "2x2".to_string(),
+        blocks: 2,
+        seed: 1001,
+        scan: true,
+        // Provisioned transparent: every MTJ_SE bit starts 0, so the
+        // static baseline is breakable and only the *morphs* arm the
+        // scan corruption — isolating the dynamic defense's effect.
+        zero_se: true,
+    }
+}
+
+fn period_label(period: Option<u64>) -> String {
+    match period {
+        None => "off".to_string(),
+        Some(k) => format!("K={k}"),
+    }
+}
+
+/// Iterations-to-key: the DIP count for a *truly correct* recovered key,
+/// `None` (the tables' `∞`) for timeouts, failures, and keys that only
+/// match the corrupted responses.
+fn iterations_to_key(report: &AttackReport) -> Option<usize> {
+    (report.result.succeeded() && report.functionally_correct == Some(true))
+        .then_some(report.iterations)
+}
+
+fn attack_cell(
+    ctx: &RunContext,
+    cfg: &RunConfig,
+    period: Option<u64>,
+) -> Result<CellOutcome, ExperimentError> {
+    let design = design();
+    let key = CacheKey::new("dynamic_defense")
+        .field("bench", design.benchmark.as_str())
+        .field("spec", design.spec.as_str())
+        .field("blocks", design.blocks)
+        .field("seed", design.seed)
+        .field("morph_queries", period.map_or(0, |k| k))
+        .field("timeout_s", cfg.timeout.as_secs())
+        .field("solver_threads", cfg.solver_threads);
+    cached_outcome(
+        ctx,
+        &key,
+        &format!("c7552 / morph {}", period_label(period)),
+        || {
+            let handle = Server::start_traced(
+                ServeConfig {
+                    morph_queries: period,
+                    ..ServeConfig::default()
+                },
+                ctx.trace(),
+                ctx.root_span(),
+            )
+            .map_err(|e| format!("serve bind failed: {e}"))?;
+            let locked = design.build().map_err(ExperimentError::Other)?;
+            let view = attacker_view(&locked);
+            let mut oracle =
+                RemoteOracle::activate(handle.addr().to_string(), ClientConfig::default(), &design)
+                    .map_err(|e| format!("activation failed: {e}"))?;
+            let a_cfg = SatAttackConfig {
+                timeout: Some(cfg.attack_timeout()),
+                solver: ril_sat::SolverConfig {
+                    threads: cfg.solver_threads,
+                    ..ril_sat::SolverConfig::default()
+                },
+                ..SatAttackConfig::default()
+            };
+            let mut report = sat_attack(&view, &mut oracle, &a_cfg);
+            if let Some(found) = report.result.key() {
+                report.functionally_correct = Some(
+                    locked
+                        .equivalent_under_key(found, 32)
+                        .map_err(ExperimentError::Netlist)?,
+                );
+            }
+            let rekeys = oracle.generation_changes();
+            handle.shutdown();
+            let cell = match iterations_to_key(&report) {
+                Some(iters) => format!("{iters} iters ({} re-keys seen)", rekeys),
+                None => format!("∞ defended ({} re-keys seen)", rekeys),
+            };
+            Ok(CellOutcome {
+                cell,
+                report: Some(report),
+            })
+        },
+    )
+}
+
+impl Experiment for DynamicDefense {
+    fn name(&self) -> &'static str {
+        "dynamic_defense"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Table V dynamic row — morph period vs SAT-attack progress over ril-serve"
+    }
+
+    fn run(&self, cfg: &RunConfig, ctx: &RunContext) -> Result<ExperimentOutput, ExperimentError> {
+        let design = design();
+        ctx.note(&format!(
+            "dynamic defense sweep — {} × {} blocks on {}, served over TCP, \
+             morph periods {:?}, timeout {:?}",
+            design.blocks,
+            design.spec,
+            design.benchmark,
+            PERIODS.iter().map(|p| period_label(*p)).collect::<Vec<_>>(),
+            cfg.timeout,
+        ));
+
+        let mut rows = Vec::new();
+        let mut json_rows = Vec::new();
+        let mut iters: Vec<Option<usize>> = Vec::new();
+        for &period in PERIODS {
+            let outcome = attack_cell(ctx, cfg, period)?;
+            let report = outcome
+                .report
+                .as_ref()
+                .ok_or_else(|| format!("morph {}: cell has no report", period_label(period)))?;
+            let to_key = iterations_to_key(report);
+            json_rows.push(format!(
+                r#"{{"morph_queries":{},"iterations_to_key":{},"iterations":{},"queries":{},"result":"{}","wall_s":{:.3}}}"#,
+                period.map_or(0, |k| k),
+                to_key.map_or("null".to_string(), |n| n.to_string()),
+                report.iterations,
+                report.oracle_queries,
+                report.result.kind(),
+                report.wall.as_secs_f64(),
+            ));
+            iters.push(to_key);
+            rows.push(vec![period_label(period), outcome.cell.clone()]);
+        }
+
+        // The acceptance check: as the morph period shrinks,
+        // iterations-to-key strictly increases or the attack stops
+        // converging (`∞`). A faster *or equal* break under a faster
+        // morph schedule means the defense did nothing — fail the run.
+        for (pair, window) in PERIODS.windows(2).zip(iters.windows(2)) {
+            let (pa, pb) = (pair[0], pair[1]);
+            let ok = match (window[0], window[1]) {
+                (_, None) => true,
+                (Some(a), Some(b)) => b > a,
+                (None, Some(_)) => false,
+            };
+            if !ok {
+                return Err(ExperimentError::Other(format!(
+                    "defense regression: morph {} yields iterations-to-key {:?}, \
+                     not above morph {}'s {:?}",
+                    period_label(pb),
+                    window[1],
+                    period_label(pa),
+                    window[0],
+                )));
+            }
+        }
+
+        print_table(
+            "SAT attack vs a live morph scheduler (c7552, 2 × 2x2 + SE)",
+            &["Morph period (queries)", "Iterations to key"],
+            &rows,
+        );
+        let artifact = ctx.write_output(
+            "DYNAMIC_DEFENSE.json",
+            &format!(
+                r#"{{"design":{},"rows":[{}]}}"#,
+                design.to_json(),
+                json_rows.join(",")
+            ),
+        )?;
+        let defended = iters.iter().filter(|i| i.is_none()).count();
+        Ok(ExperimentOutput {
+            summary: format!(
+                "{} morph periods; baseline {} iterations; {} defended",
+                PERIODS.len(),
+                iters[0].map_or("∞".to_string(), |n| n.to_string()),
+                defended,
+            ),
+            files: vec![artifact],
+        })
+    }
+}

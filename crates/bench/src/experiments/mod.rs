@@ -5,6 +5,7 @@
 //! content-addressed cache in [`crate::RunContext`].
 
 pub mod corruptibility;
+pub mod dynamic_defense;
 pub mod fig1;
 pub mod fig5;
 pub mod fig6;

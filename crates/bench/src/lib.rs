@@ -15,6 +15,7 @@
 //! | `fig6` | Fig. 6 — Monte-Carlo PV distributions |
 //! | `overhead` | §III-A overhead comparison |
 //! | `scan_defense` | §III-C / IV-C Scan-Enable defense demonstration |
+//! | `dynamic_defense` | Table V dynamic row — morph period vs SAT progress over `ril-serve` |
 //! | `corruptibility` | output-corruption comparison vs point functions |
 //! | `key_redundancy` | §III-A switch-box key-redundancy comparison |
 //! | `lut_scaling` | §IV-B LUT-size / block-width scaling ablation |

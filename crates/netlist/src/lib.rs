@@ -42,5 +42,5 @@ pub use bench::{parse_bench, write_bench, ParseBenchError};
 pub use gate::GateKind;
 pub use netlist::{Gate, GateId, Net, NetId, Netlist, NetlistError, NetlistStats};
 pub use opt::{optimize, OptStats};
-pub use sim::Simulator;
+pub use sim::{CompiledSim, Simulator};
 pub use verilog::{parse_verilog, write_verilog, ParseVerilogError};

@@ -5,6 +5,7 @@
 //! (one pattern per bit lane). This is the oracle engine for the attack
 //! suite and the measurement engine for output-corruptibility studies.
 
+use crate::gate::GateKind;
 use crate::netlist::{GateId, NetId, Netlist, NetlistError};
 use rand::Rng;
 
@@ -139,6 +140,165 @@ impl Simulator {
     /// call to [`Simulator::eval_words`]).
     pub fn net_value(&self, net: NetId) -> u64 {
         self.values[net.index()]
+    }
+}
+
+/// One gate of a [`CompiledSim`] plan: the kind plus value-array indices,
+/// with the input operands flattened into [`CompiledSim::step_inputs`].
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    kind: GateKind,
+    in_start: u32,
+    in_len: u32,
+    out: u32,
+}
+
+/// A fully self-contained bit-parallel evaluation plan.
+///
+/// [`Simulator`] keeps its plan thin by re-reading gate kinds and net
+/// indices from the [`Netlist`] on every call, which forces long-lived
+/// evaluators (the attack oracle, a served chip) to carry a full netlist
+/// clone next to the simulator. `CompiledSim` bakes the topological order,
+/// gate kinds, operand indices and output positions in at construction, so
+/// evaluation needs **no** netlist — the plan *is* the circuit.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = ril_netlist::bench::c17();
+/// let mut sim = ril_netlist::CompiledSim::new(&nl)?;
+/// drop(nl); // the plan no longer needs the netlist
+/// let outs = sim.eval_words(&[u64::MAX; 5], &[]);
+/// assert_eq!(outs.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledSim {
+    steps: Vec<Step>,
+    step_inputs: Vec<u32>,
+    values: Vec<u64>,
+    /// Net index per primary input, aligned with [`Netlist::inputs`].
+    input_nets: Vec<u32>,
+    /// For each input position: data-vector index (`Ok`) or key-vector
+    /// index (`Err`), as in [`Simulator`].
+    input_slots: Vec<Result<usize, usize>>,
+    output_nets: Vec<u32>,
+    n_data: usize,
+    n_keys: usize,
+}
+
+impl CompiledSim {
+    /// Compiles the full evaluation plan for `nl`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the netlist is
+    /// cyclic.
+    pub fn new(nl: &Netlist) -> Result<CompiledSim, NetlistError> {
+        let order = nl.topo_order()?;
+        let mut steps = Vec::with_capacity(order.len());
+        let mut step_inputs = Vec::new();
+        for gid in order {
+            let gate = nl.gate(gid);
+            let in_start = step_inputs.len() as u32;
+            step_inputs.extend(gate.inputs().iter().map(|n| n.index() as u32));
+            steps.push(Step {
+                kind: gate.kind(),
+                in_start,
+                in_len: gate.inputs().len() as u32,
+                out: gate.output().index() as u32,
+            });
+        }
+        let mut data_idx = 0;
+        let mut key_idx = 0;
+        let input_slots: Vec<Result<usize, usize>> = nl
+            .inputs()
+            .iter()
+            .map(|&i| {
+                if nl.is_key_input(i) {
+                    let slot = Err(key_idx);
+                    key_idx += 1;
+                    slot
+                } else {
+                    let slot = Ok(data_idx);
+                    data_idx += 1;
+                    slot
+                }
+            })
+            .collect();
+        Ok(CompiledSim {
+            steps,
+            step_inputs,
+            values: vec![0; nl.net_count()],
+            input_nets: nl.inputs().iter().map(|n| n.index() as u32).collect(),
+            input_slots,
+            output_nets: nl.outputs().iter().map(|n| n.index() as u32).collect(),
+            n_data: data_idx,
+            n_keys: key_idx,
+        })
+    }
+
+    /// Number of data (non-key) inputs the plan expects.
+    pub fn data_width(&self) -> usize {
+        self.n_data
+    }
+
+    /// Number of key inputs the plan expects.
+    pub fn key_width(&self) -> usize {
+        self.n_keys
+    }
+
+    /// Number of primary outputs per evaluation.
+    pub fn output_width(&self) -> usize {
+        self.output_nets.len()
+    }
+
+    /// Evaluates 64 patterns at once, exactly like
+    /// [`Simulator::eval_words`] but against the baked-in plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the compiled input counts.
+    pub fn eval_words(&mut self, data: &[u64], keys: &[u64]) -> Vec<u64> {
+        assert_eq!(data.len(), self.n_data, "data width mismatch");
+        assert_eq!(keys.len(), self.n_keys, "key width mismatch");
+        for (pos, &net) in self.input_nets.iter().enumerate() {
+            self.values[net as usize] = match self.input_slots[pos] {
+                Ok(d) => data[d],
+                Err(k) => keys[k],
+            };
+        }
+        let mut in_buf: Vec<u64> = Vec::with_capacity(4);
+        for step in &self.steps {
+            in_buf.clear();
+            let lo = step.in_start as usize;
+            in_buf.extend(
+                self.step_inputs[lo..lo + step.in_len as usize]
+                    .iter()
+                    .map(|&n| self.values[n as usize]),
+            );
+            self.values[step.out as usize] = step.kind.eval_words(&in_buf);
+        }
+        self.output_nets
+            .iter()
+            .map(|&n| self.values[n as usize])
+            .collect()
+    }
+
+    /// Evaluates one pattern with separate data/key bit vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatches.
+    pub fn eval_pattern(&mut self, data: &[bool], keys: &[bool]) -> Vec<bool> {
+        let dw: Vec<u64> = data.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        let kw: Vec<u64> = keys.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        self.eval_words(&dw, &kw)
+            .into_iter()
+            .map(|w| w & 1 == 1)
+            .collect()
     }
 }
 
@@ -312,5 +472,46 @@ mod tests {
         let nl = c17();
         let mut sim = Simulator::new(&nl).unwrap();
         sim.eval_bits(&nl, &[true; 3]);
+    }
+
+    #[test]
+    fn compiled_sim_matches_simulator() {
+        let nl = c17();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let mut compiled = CompiledSim::new(&nl).unwrap();
+        assert_eq!(compiled.data_width(), 5);
+        assert_eq!(compiled.key_width(), 0);
+        assert_eq!(compiled.output_width(), 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..8 {
+            let data = random_word_patterns(&mut rng, 5);
+            assert_eq!(
+                sim.eval_words(&nl, &data, &[]),
+                compiled.eval_words(&data, &[])
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_sim_routes_keys_without_netlist() {
+        let mut nl = Netlist::new("k");
+        let a = nl.add_input("a").unwrap();
+        let k = nl.add_key_input("k").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.add_gate(GateKind::Xor, &[a, k], y).unwrap();
+        nl.mark_output(y);
+        let mut compiled = CompiledSim::new(&nl).unwrap();
+        drop(nl);
+        assert_eq!(compiled.eval_words(&[u64::MAX], &[0])[0], u64::MAX);
+        assert_eq!(compiled.eval_words(&[u64::MAX], &[u64::MAX])[0], 0);
+        assert_eq!(compiled.eval_pattern(&[true], &[true]), vec![false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "data width mismatch")]
+    fn compiled_sim_checks_widths() {
+        let nl = c17();
+        let mut compiled = CompiledSim::new(&nl).unwrap();
+        compiled.eval_words(&[0; 3], &[]);
     }
 }

@@ -1,0 +1,352 @@
+//! The client side: a framed TCP client with reconnect/retry, and the
+//! [`RemoteOracle`] adapter that lets every oracle-guided attack in
+//! `ril-attacks` run unchanged against a live (morphing) server.
+
+use crate::protocol::{
+    read_frame, write_frame, DesignSpec, ErrorKind, FrameError, Request, Response, ServerStats,
+};
+use ril_attacks::{OracleError, OracleSource};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Transport tuning for [`ServeClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-request socket timeout (connect, read, and write).
+    pub timeout: Duration,
+    /// Transport retries per request (reconnect + resend).
+    pub retries: u32,
+    /// Base backoff between retries (doubles per attempt).
+    pub backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            timeout: Duration::from_secs(2),
+            retries: 3,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// A client-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The server answered with a typed protocol error. Not retried: the
+    /// server made a decision, resending the same frame cannot change it.
+    Server {
+        /// The server's error category.
+        kind: ErrorKind,
+        /// The server's detail message.
+        message: String,
+    },
+    /// The transport failed after exhausting every retry.
+    Transport(String),
+    /// The server answered with a frame the protocol does not allow here.
+    UnexpectedResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Server { kind, message } => {
+                write!(f, "server error `{}`: {message}", kind.as_str())
+            }
+            ClientError::Transport(msg) => write!(f, "transport failure: {msg}"),
+            ClientError::UnexpectedResponse(msg) => write!(f, "unexpected response: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ClientError> for OracleError {
+    fn from(e: ClientError) -> OracleError {
+        match e {
+            ClientError::Server { kind, message } => OracleError::Protocol {
+                kind: kind.as_str().to_string(),
+                message,
+            },
+            ClientError::Transport(msg) => OracleError::Transport(msg),
+            ClientError::UnexpectedResponse(msg) => OracleError::Protocol {
+                kind: "unexpected_response".to_string(),
+                message: msg,
+            },
+        }
+    }
+}
+
+/// A framed request/response client with connection reuse: one TCP stream
+/// carries every request until it fails, then the next request
+/// reconnects (bounded retries, exponential backoff).
+pub struct ServeClient {
+    addr: String,
+    cfg: ClientConfig,
+    conn: Option<TcpStream>,
+}
+
+impl ServeClient {
+    /// A client for `addr` (e.g. `127.0.0.1:4615`) with default tuning.
+    pub fn connect(addr: impl Into<String>) -> ServeClient {
+        ServeClient::with_config(addr, ClientConfig::default())
+    }
+
+    /// A client with explicit transport tuning.
+    pub fn with_config(addr: impl Into<String>, cfg: ClientConfig) -> ServeClient {
+        ServeClient {
+            addr: addr.into(),
+            cfg,
+            conn: None,
+        }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn stream(&mut self) -> Result<&mut TcpStream, String> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr).map_err(|e| e.to_string())?;
+            stream
+                .set_read_timeout(Some(self.cfg.timeout))
+                .map_err(|e| e.to_string())?;
+            stream
+                .set_write_timeout(Some(self.cfg.timeout))
+                .map_err(|e| e.to_string())?;
+            let _ = stream.set_nodelay(true);
+            self.conn = Some(stream);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    fn round_trip_once(&mut self, json: &str) -> Result<Response, String> {
+        let stream = self.stream()?;
+        write_frame(stream, json).map_err(|e| e.to_string())?;
+        let text = match read_frame(stream) {
+            Ok(text) => text,
+            Err(FrameError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err("request timed out".to_string())
+            }
+            Err(e) => return Err(e.to_string()),
+        };
+        Response::parse(&text).map_err(|e| format!("bad response frame: {e}"))
+    }
+
+    /// Sends one request, reconnecting and retrying on transport failure.
+    /// Server-side [`Response::Error`]s are returned as
+    /// [`ClientError::Server`] without retrying.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Transport`] once retries are exhausted.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let json = req.to_json();
+        let mut last = String::new();
+        for attempt in 0..=self.cfg.retries {
+            if attempt > 0 {
+                ril_trace::counter("oracle.remote.retries", 1);
+                std::thread::sleep(self.cfg.backoff * (1 << (attempt - 1).min(8)));
+            }
+            match self.round_trip_once(&json) {
+                Ok(Response::Error { kind, message }) => {
+                    return Err(ClientError::Server { kind, message })
+                }
+                Ok(resp) => return Ok(resp),
+                Err(msg) => {
+                    // The stream is suspect; reconnect on the next try.
+                    self.conn = None;
+                    last = msg;
+                }
+            }
+        }
+        Err(ClientError::Transport(format!(
+            "{} after {} attempts: {last}",
+            self.addr,
+            self.cfg.retries + 1
+        )))
+    }
+
+    /// Fetches the server's statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+}
+
+/// An [`OracleSource`] backed by a chip on a remote server.
+///
+/// SAT, AppSAT, and ScanSAT take `&mut dyn OracleSource`, so swapping the
+/// in-process [`ril_attacks::Oracle`] for this struct is the *entire*
+/// change needed to attack over the network — including against a target
+/// whose morph scheduler is live. The [`RemoteOracle::generation_changes`]
+/// counter reports how often the chip re-keyed mid-attack.
+pub struct RemoteOracle {
+    client: ServeClient,
+    chip: u64,
+    inputs: usize,
+    outputs: usize,
+    queries: u64,
+    generation: u64,
+    generation_changes: u64,
+}
+
+impl RemoteOracle {
+    /// Activates a fresh chip from `design` on the server at `addr` and
+    /// returns an oracle bound to it.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] from the activation round trip.
+    pub fn activate(
+        addr: impl Into<String>,
+        cfg: ClientConfig,
+        design: &DesignSpec,
+    ) -> Result<RemoteOracle, ClientError> {
+        let mut client = ServeClient::with_config(addr, cfg);
+        let resp = client.request(&Request::Activate {
+            design: design.clone(),
+        })?;
+        match resp {
+            Response::Activated {
+                chip,
+                generation,
+                inputs,
+                outputs,
+                ..
+            } => Ok(RemoteOracle {
+                client,
+                chip,
+                inputs,
+                outputs,
+                queries: 0,
+                generation,
+                generation_changes: 0,
+            }),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Binds to an already-activated chip (widths fetched via a probe is
+    /// not possible over this protocol, so the caller supplies them).
+    pub fn bind(
+        addr: impl Into<String>,
+        cfg: ClientConfig,
+        chip: u64,
+        inputs: usize,
+        outputs: usize,
+    ) -> RemoteOracle {
+        RemoteOracle {
+            client: ServeClient::with_config(addr, cfg),
+            chip,
+            inputs,
+            outputs,
+            queries: 0,
+            generation: 0,
+            generation_changes: 0,
+        }
+    }
+
+    /// The server-assigned chip id.
+    pub fn chip(&self) -> u64 {
+        self.chip
+    }
+
+    /// How many times a response arrived under a new key generation.
+    pub fn generation_changes(&self) -> u64 {
+        self.generation_changes
+    }
+
+    /// Manually re-keys the remote chip.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn morph(&mut self) -> Result<u64, ClientError> {
+        match self.client.request(&Request::Morph { chip: self.chip })? {
+            Response::Morphed {
+                generation,
+                bits_changed,
+            } => {
+                self.observe_generation(generation);
+                Ok(bits_changed)
+            }
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// The underlying client (for `stats` / `shutdown_server`).
+    pub fn client(&mut self) -> &mut ServeClient {
+        &mut self.client
+    }
+
+    fn observe_generation(&mut self, generation: u64) {
+        if generation != self.generation {
+            self.generation_changes += 1;
+            self.generation = generation;
+        }
+    }
+}
+
+impl OracleSource for RemoteOracle {
+    fn input_width(&self) -> usize {
+        self.inputs
+    }
+
+    fn output_width(&self) -> usize {
+        self.outputs
+    }
+
+    fn try_query(&mut self, inputs: &[bool]) -> Result<Vec<bool>, OracleError> {
+        let resp = self
+            .client
+            .request(&Request::Query {
+                chip: self.chip,
+                inputs: inputs.to_vec(),
+            })
+            .map_err(OracleError::from)?;
+        match resp {
+            Response::Outputs { bits, generation } => {
+                self.queries += 1;
+                self.observe_generation(generation);
+                Ok(bits)
+            }
+            other => Err(OracleError::Protocol {
+                kind: "unexpected_response".to_string(),
+                message: format!("{other:?}"),
+            }),
+        }
+    }
+
+    fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    fn generation(&self) -> Option<u64> {
+        Some(self.generation)
+    }
+}

@@ -1,0 +1,58 @@
+//! # ril-serve — the activation service and dynamic-defense runtime
+//!
+//! The paper's threat model splits the world into a trusted party that
+//! *activates* chips (burns the key into tamper-proof memory) and an
+//! adversary with oracle access to an activated part. This crate makes
+//! that split literal: a TCP service hosts activated chips and answers
+//! oracle queries over a length-prefixed JSON protocol, while a
+//! **morph scheduler** re-keys every hosted chip each K queries or T
+//! milliseconds — the dynamic obfuscation the paper argues defeats
+//! accumulated SAT-attack progress.
+//!
+//! * [`protocol`] — the wire format: 4-byte big-endian length + JSON
+//!   frames, typed [`protocol::ErrorKind`]s, and [`protocol::DesignSpec`]
+//!   (chips are provisioned by deterministic recipe, never by shipping a
+//!   netlist).
+//! * [`server`] — the listener, bounded worker pool (one connection per
+//!   worker, reused across thousands of queries), and chip table.
+//! * [`scheduler`] — the re-keying triggers.
+//! * [`client`] — [`RemoteOracle`]: an [`ril_attacks::OracleSource`] over
+//!   TCP with reconnect/retry, so SAT, AppSAT and ScanSAT run unchanged
+//!   against a live, morphing target.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ril_serve::{ClientConfig, DesignSpec, RemoteOracle, ServeConfig, Server};
+//! use ril_attacks::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let handle = Server::start(ServeConfig::default())?;
+//! let design = DesignSpec {
+//!     benchmark: "adder:6".into(), spec: "2x2".into(), blocks: 1,
+//!     seed: 7, scan: false, zero_se: false,
+//! };
+//! let mut oracle = RemoteOracle::activate(
+//!     handle.addr().to_string(), ClientConfig::default(), &design)?;
+//! let view = attacker_view(&design.build()?);
+//! let report = ril_attacks::satattack::sat_attack(
+//!     &view, &mut oracle, &SatAttackConfig::default());
+//! assert!(matches!(report.result, AttackResult::ExactKey(_)));
+//! handle.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+mod scheduler;
+pub mod server;
+
+pub use client::{ClientConfig, ClientError, RemoteOracle, ServeClient};
+pub use protocol::{
+    bits_from_str, bits_to_string, read_frame, write_frame, ChipStats, DesignSpec, ErrorKind,
+    FrameError, Request, Response, ServerStats, MAX_FRAME_BYTES,
+};
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,773 @@
+//! The wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! Every message is a 4-byte big-endian length followed by that many bytes
+//! of UTF-8 JSON, written with the suite's hand-rolled writers and read
+//! back with [`ril_attacks::json::JsonValue`] (no crates-io `serde` in
+//! this environment). Frames are capped at [`MAX_FRAME_BYTES`]; an
+//! oversized header is rejected *before* the body is read, so a malicious
+//! length cannot make the server allocate.
+//!
+//! Chips are provisioned **by design spec**, not by shipping netlists:
+//! the [`crate::server`] and any client rebuild bit-identical
+//! [`LockedCircuit`]s from the same [`DesignSpec`] because the
+//! [`Obfuscator`] is deterministic in its seed. The adversary's client
+//! derives its attacker view the same way — exactly the reverse-engineered
+//! layout knowledge the threat model grants it.
+
+use ril_attacks::json::{escape, JsonValue};
+use ril_core::{KeyBitKind, LockedCircuit, Obfuscator, RilBlockSpec};
+use ril_netlist::{generators, Netlist};
+use std::io::{Read, Write};
+
+/// Hard cap on one frame's JSON payload (1 MiB).
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// A failed frame read/write.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean EOF at a frame boundary — the peer closed the connection.
+    Closed,
+    /// The connection died mid-frame (partial header or body).
+    Truncated,
+    /// The declared payload length exceeds [`MAX_FRAME_BYTES`].
+    Oversized(usize),
+    /// The payload is not the UTF-8 JSON the protocol requires.
+    Malformed(String),
+    /// Any other I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => f.write_str("connection closed"),
+            FrameError::Truncated => f.write_str("connection died mid-frame"),
+            FrameError::Oversized(n) => {
+                write!(
+                    f,
+                    "frame of {n} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+                )
+            }
+            FrameError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reads one length-prefixed frame and returns its JSON text.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on clean EOF, [`FrameError::Truncated`] on a
+/// mid-frame disconnect, [`FrameError::Oversized`] when the header
+/// declares more than [`MAX_FRAME_BYTES`] (the body is *not* read).
+pub fn read_frame(r: &mut impl Read) -> Result<String, FrameError> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Err(FrameError::Closed),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut body = vec![0u8; len];
+    match r.read_exact(&mut body) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            return Err(FrameError::Truncated)
+        }
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    String::from_utf8(body).map_err(|e| FrameError::Malformed(e.to_string()))
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// [`FrameError::Oversized`] when `json` exceeds [`MAX_FRAME_BYTES`];
+/// otherwise propagates I/O failures.
+pub fn write_frame(w: &mut impl Write, json: &str) -> Result<(), FrameError> {
+    let bytes = json.as_bytes();
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized(bytes.len()));
+    }
+    let header = (bytes.len() as u32).to_be_bytes();
+    w.write_all(&header).map_err(FrameError::Io)?;
+    w.write_all(bytes).map_err(FrameError::Io)?;
+    w.flush().map_err(FrameError::Io)
+}
+
+/// Typed server-side error kinds carried on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request frame is not valid protocol JSON.
+    Malformed,
+    /// A frame exceeded [`MAX_FRAME_BYTES`].
+    Oversized,
+    /// No chip with the given id is hosted.
+    UnknownChip,
+    /// A query's input width does not match the chip.
+    BadWidth,
+    /// The chip's per-chip query limit is exhausted.
+    RateLimited,
+    /// The server is shutting down.
+    ShuttingDown,
+    /// Chip provisioning or evaluation failed server-side.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::Oversized => "oversized",
+            ErrorKind::UnknownChip => "unknown_chip",
+            ErrorKind::BadWidth => "bad_width",
+            ErrorKind::RateLimited => "rate_limited",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire token back.
+    pub fn parse(s: &str) -> Option<ErrorKind> {
+        Some(match s {
+            "malformed" => ErrorKind::Malformed,
+            "oversized" => ErrorKind::Oversized,
+            "unknown_chip" => ErrorKind::UnknownChip,
+            "bad_width" => ErrorKind::BadWidth,
+            "rate_limited" => ErrorKind::RateLimited,
+            "shutting_down" => ErrorKind::ShuttingDown,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A deterministic chip recipe: both sides rebuild the identical
+/// [`LockedCircuit`] from it (the obfuscator is seed-deterministic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignSpec {
+    /// Host circuit: a [`generators::benchmark`] name (`c7552`, `b15`,
+    /// …) or `adder:N` / `multiplier:N`.
+    pub benchmark: String,
+    /// RIL block spec token (`2x2`, `8x8`, `8x8x8`).
+    pub spec: String,
+    /// Number of blocks to insert.
+    pub blocks: usize,
+    /// Obfuscator seed.
+    pub seed: u64,
+    /// Add the Scan-Enable circuitry.
+    pub scan: bool,
+    /// Provision with all `MTJ_SE` key bits zeroed: the scan path starts
+    /// transparent and only the *morph scheduler's* SE re-rolls arm the
+    /// corruption — the dynamic-defense experiment's starting state.
+    pub zero_se: bool,
+}
+
+impl DesignSpec {
+    /// Builds the host netlist for this spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown benchmark names.
+    pub fn host(&self) -> Result<Netlist, String> {
+        if let Some(n) = self.benchmark.strip_prefix("adder:") {
+            let bits: usize = n.parse().map_err(|_| format!("bad adder width `{n}`"))?;
+            return Ok(generators::adder(bits));
+        }
+        if let Some(n) = self.benchmark.strip_prefix("multiplier:") {
+            let bits: usize = n
+                .parse()
+                .map_err(|_| format!("bad multiplier width `{n}`"))?;
+            return Ok(generators::multiplier(bits));
+        }
+        generators::benchmark(&self.benchmark)
+            .ok_or_else(|| format!("unknown benchmark `{}`", self.benchmark))
+    }
+
+    /// Locks the host deterministically. Both the server (to provision)
+    /// and a client (to derive its attacker view) call this and get the
+    /// same circuit, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a bad spec token, unknown benchmark, or
+    /// obfuscation failure.
+    pub fn build(&self) -> Result<LockedCircuit, String> {
+        let spec = RilBlockSpec::parse(&self.spec)
+            .ok_or_else(|| format!("bad spec token `{}`", self.spec))?;
+        let host = self.host()?;
+        let mut locked = Obfuscator::new(spec)
+            .blocks(self.blocks)
+            .scan_obfuscation(self.scan)
+            .seed(self.seed)
+            .obfuscate(&host)
+            .map_err(|e| format!("obfuscation failed: {e}"))?;
+        if self.zero_se {
+            let se_bits: Vec<usize> = locked
+                .keys
+                .kinds()
+                .iter()
+                .enumerate()
+                .filter(|(_, k)| matches!(k, KeyBitKind::ScanEnable { .. }))
+                .map(|(i, _)| i)
+                .collect();
+            for i in se_bits {
+                locked.keys.set_bit(i, false);
+            }
+        }
+        Ok(locked)
+    }
+
+    /// The spec as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"benchmark":"{}","spec":"{}","blocks":{},"seed":{},"scan":{},"zero_se":{}}}"#,
+            escape(&self.benchmark),
+            escape(&self.spec),
+            self.blocks,
+            self.seed,
+            self.scan,
+            self.zero_se,
+        )
+    }
+
+    fn from_json(v: &JsonValue) -> Result<DesignSpec, String> {
+        Ok(DesignSpec {
+            benchmark: str_field(v, "benchmark")?,
+            spec: str_field(v, "spec")?,
+            blocks: u64_field(v, "blocks")? as usize,
+            seed: u64_field(v, "seed")?,
+            scan: bool_field(v, "scan")?,
+            zero_se: bool_field(v, "zero_se")?,
+        })
+    }
+}
+
+fn str_field(v: &JsonValue, name: &str) -> Result<String, String> {
+    v.get(name)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field `{name}`"))
+}
+
+fn u64_field(v: &JsonValue, name: &str) -> Result<u64, String> {
+    v.get(name)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing integer field `{name}`"))
+}
+
+fn bool_field(v: &JsonValue, name: &str) -> Result<bool, String> {
+    v.get(name)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| format!("missing bool field `{name}`"))
+}
+
+/// Encodes a bit vector as the wire's compact `"0101"` string.
+pub fn bits_to_string(bits: &[bool]) -> String {
+    bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+/// Decodes the wire's `"0101"` bit-string.
+///
+/// # Errors
+///
+/// Returns a message on any character outside `0`/`1`.
+pub fn bits_from_str(s: &str) -> Result<Vec<bool>, String> {
+    s.chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(format!("bad bit character `{other}`")),
+        })
+        .collect()
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Lock + provision a chip from a deterministic design spec.
+    Activate {
+        /// The chip recipe.
+        design: DesignSpec,
+    },
+    /// One oracle access through the scan interface.
+    Query {
+        /// Target chip id.
+        chip: u64,
+        /// Data-input pattern (SE excluded — the scan path asserts it).
+        inputs: Vec<bool>,
+    },
+    /// Several oracle accesses in one frame.
+    QueryBatch {
+        /// Target chip id.
+        chip: u64,
+        /// Data-input patterns.
+        patterns: Vec<Vec<bool>>,
+    },
+    /// Manual re-key of one chip.
+    Morph {
+        /// Target chip id.
+        chip: u64,
+    },
+    /// Server + per-chip statistics.
+    Stats,
+    /// Graceful shutdown of the whole server.
+    Shutdown,
+}
+
+impl Request {
+    /// The request as a JSON frame payload.
+    pub fn to_json(&self) -> String {
+        match self {
+            Request::Activate { design } => {
+                format!(r#"{{"op":"activate","design":{}}}"#, design.to_json())
+            }
+            Request::Query { chip, inputs } => format!(
+                r#"{{"op":"query","chip":{chip},"inputs":"{}"}}"#,
+                bits_to_string(inputs)
+            ),
+            Request::QueryBatch { chip, patterns } => {
+                let rows: Vec<String> = patterns
+                    .iter()
+                    .map(|p| format!("\"{}\"", bits_to_string(p)))
+                    .collect();
+                format!(
+                    r#"{{"op":"query_batch","chip":{chip},"patterns":[{}]}}"#,
+                    rows.join(",")
+                )
+            }
+            Request::Morph { chip } => format!(r#"{{"op":"morph","chip":{chip}}}"#),
+            Request::Stats => r#"{"op":"stats"}"#.to_string(),
+            Request::Shutdown => r#"{"op":"shutdown"}"#.to_string(),
+        }
+    }
+
+    /// Parses a request frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for anything that is not a protocol request.
+    pub fn parse(text: &str) -> Result<Request, String> {
+        let v = JsonValue::parse(text).map_err(|e| e.to_string())?;
+        let op = str_field(&v, "op")?;
+        Ok(match op.as_str() {
+            "activate" => Request::Activate {
+                design: DesignSpec::from_json(v.get("design").ok_or("missing `design` object")?)?,
+            },
+            "query" => Request::Query {
+                chip: u64_field(&v, "chip")?,
+                inputs: bits_from_str(&str_field(&v, "inputs")?)?,
+            },
+            "query_batch" => {
+                let rows = v
+                    .get("patterns")
+                    .and_then(JsonValue::as_array)
+                    .ok_or("missing `patterns` array")?;
+                let mut patterns = Vec::with_capacity(rows.len());
+                for row in rows {
+                    patterns.push(bits_from_str(
+                        row.as_str().ok_or("pattern rows must be bit strings")?,
+                    )?);
+                }
+                Request::QueryBatch {
+                    chip: u64_field(&v, "chip")?,
+                    patterns,
+                }
+            }
+            "morph" => Request::Morph {
+                chip: u64_field(&v, "chip")?,
+            },
+            "stats" => Request::Stats,
+            "shutdown" => Request::Shutdown,
+            other => return Err(format!("unknown op `{other}`")),
+        })
+    }
+}
+
+/// Per-chip statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChipStats {
+    /// Chip id.
+    pub chip: u64,
+    /// Oracle queries served (batch patterns counted individually).
+    pub queries: u64,
+    /// Morphs applied (scheduled + manual).
+    pub morphs: u64,
+    /// Current key generation (starts at 0, +1 per morph).
+    pub generation: u64,
+}
+
+/// Server-wide statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests handled since start.
+    pub requests: u64,
+    /// One entry per hosted chip, ascending chip id.
+    pub chips: Vec<ChipStats>,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A chip was provisioned.
+    Activated {
+        /// The new chip's id.
+        chip: u64,
+        /// Its key generation (0 at activation).
+        generation: u64,
+        /// Data-input width per query.
+        inputs: usize,
+        /// Output width per response.
+        outputs: usize,
+        /// Key bits burned into the chip.
+        key_bits: usize,
+    },
+    /// One query's response.
+    Outputs {
+        /// Output bits.
+        bits: Vec<bool>,
+        /// Key generation the response was produced under.
+        generation: u64,
+    },
+    /// A batch's responses.
+    Batch {
+        /// One output row per request pattern.
+        rows: Vec<Vec<bool>>,
+        /// Key generation the batch was produced under.
+        generation: u64,
+    },
+    /// A morph was applied.
+    Morphed {
+        /// The chip's new generation.
+        generation: u64,
+        /// Key bits whose value changed.
+        bits_changed: u64,
+    },
+    /// Statistics snapshot.
+    Stats(ServerStats),
+    /// Shutdown acknowledged.
+    Bye,
+    /// A typed error.
+    Error {
+        /// Error category.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The response as a JSON frame payload.
+    pub fn to_json(&self) -> String {
+        match self {
+            Response::Activated {
+                chip,
+                generation,
+                inputs,
+                outputs,
+                key_bits,
+            } => format!(
+                r#"{{"ok":"activated","chip":{chip},"generation":{generation},"inputs":{inputs},"outputs":{outputs},"key_bits":{key_bits}}}"#
+            ),
+            Response::Outputs { bits, generation } => format!(
+                r#"{{"ok":"outputs","bits":"{}","generation":{generation}}}"#,
+                bits_to_string(bits)
+            ),
+            Response::Batch { rows, generation } => {
+                let encoded: Vec<String> = rows
+                    .iter()
+                    .map(|r| format!("\"{}\"", bits_to_string(r)))
+                    .collect();
+                format!(
+                    r#"{{"ok":"batch","rows":[{}],"generation":{generation}}}"#,
+                    encoded.join(",")
+                )
+            }
+            Response::Morphed {
+                generation,
+                bits_changed,
+            } => format!(
+                r#"{{"ok":"morphed","generation":{generation},"bits_changed":{bits_changed}}}"#
+            ),
+            Response::Stats(stats) => {
+                let chips: Vec<String> = stats
+                    .chips
+                    .iter()
+                    .map(|c| {
+                        format!(
+                            r#"{{"chip":{},"queries":{},"morphs":{},"generation":{}}}"#,
+                            c.chip, c.queries, c.morphs, c.generation
+                        )
+                    })
+                    .collect();
+                format!(
+                    r#"{{"ok":"stats","requests":{},"chips":[{}]}}"#,
+                    stats.requests,
+                    chips.join(",")
+                )
+            }
+            Response::Bye => r#"{"ok":"bye"}"#.to_string(),
+            Response::Error { kind, message } => format!(
+                r#"{{"err":"{}","message":"{}"}}"#,
+                kind.as_str(),
+                escape(message)
+            ),
+        }
+    }
+
+    /// Parses a response frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for anything that is not a protocol response.
+    pub fn parse(text: &str) -> Result<Response, String> {
+        let v = JsonValue::parse(text).map_err(|e| e.to_string())?;
+        if let Some(err) = v.get("err").and_then(JsonValue::as_str) {
+            let kind =
+                ErrorKind::parse(err).ok_or_else(|| format!("unknown error kind `{err}`"))?;
+            return Ok(Response::Error {
+                kind,
+                message: str_field(&v, "message").unwrap_or_default(),
+            });
+        }
+        let ok = str_field(&v, "ok")?;
+        Ok(match ok.as_str() {
+            "activated" => Response::Activated {
+                chip: u64_field(&v, "chip")?,
+                generation: u64_field(&v, "generation")?,
+                inputs: u64_field(&v, "inputs")? as usize,
+                outputs: u64_field(&v, "outputs")? as usize,
+                key_bits: u64_field(&v, "key_bits")? as usize,
+            },
+            "outputs" => Response::Outputs {
+                bits: bits_from_str(&str_field(&v, "bits")?)?,
+                generation: u64_field(&v, "generation")?,
+            },
+            "batch" => {
+                let rows = v
+                    .get("rows")
+                    .and_then(JsonValue::as_array)
+                    .ok_or("missing `rows` array")?;
+                let mut decoded = Vec::with_capacity(rows.len());
+                for row in rows {
+                    decoded.push(bits_from_str(
+                        row.as_str().ok_or("batch rows must be bit strings")?,
+                    )?);
+                }
+                Response::Batch {
+                    rows: decoded,
+                    generation: u64_field(&v, "generation")?,
+                }
+            }
+            "morphed" => Response::Morphed {
+                generation: u64_field(&v, "generation")?,
+                bits_changed: u64_field(&v, "bits_changed")?,
+            },
+            "stats" => {
+                let rows = v
+                    .get("chips")
+                    .and_then(JsonValue::as_array)
+                    .ok_or("missing `chips` array")?;
+                let mut chips = Vec::with_capacity(rows.len());
+                for row in rows {
+                    chips.push(ChipStats {
+                        chip: u64_field(row, "chip")?,
+                        queries: u64_field(row, "queries")?,
+                        morphs: u64_field(row, "morphs")?,
+                        generation: u64_field(row, "generation")?,
+                    });
+                }
+                Response::Stats(ServerStats {
+                    requests: u64_field(&v, "requests")?,
+                    chips,
+                })
+            }
+            "bye" => Response::Bye,
+            other => return Err(format!("unknown ok kind `{other}`")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_design() -> DesignSpec {
+        DesignSpec {
+            benchmark: "adder:6".to_string(),
+            spec: "2x2".to_string(),
+            blocks: 2,
+            seed: 7,
+            scan: true,
+            zero_se: true,
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, r#"{"op":"stats"}"#).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), r#"{"op":"stats"}"#);
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_without_reading_the_body() {
+        let mut buf = ((MAX_FRAME_BYTES + 1) as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"xx");
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_are_typed() {
+        // Partial header.
+        let mut cursor = std::io::Cursor::new(vec![0u8, 0]);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Truncated)
+        ));
+        // Full header, partial body.
+        let mut buf = 10u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"abc");
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn oversized_writes_are_refused() {
+        let big = "x".repeat(MAX_FRAME_BYTES + 1);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_frame(&mut buf, &big),
+            Err(FrameError::Oversized(_))
+        ));
+        assert!(buf.is_empty(), "nothing may reach the wire");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Activate {
+                design: sample_design(),
+            },
+            Request::Query {
+                chip: 3,
+                inputs: vec![true, false, true],
+            },
+            Request::QueryBatch {
+                chip: 1,
+                patterns: vec![vec![false, true], vec![true, true]],
+            },
+            Request::Morph { chip: 9 },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            assert_eq!(Request::parse(&req.to_json()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Activated {
+                chip: 1,
+                generation: 0,
+                inputs: 12,
+                outputs: 7,
+                key_bits: 24,
+            },
+            Response::Outputs {
+                bits: vec![true, false],
+                generation: 4,
+            },
+            Response::Batch {
+                rows: vec![vec![true], vec![false]],
+                generation: 2,
+            },
+            Response::Morphed {
+                generation: 5,
+                bits_changed: 11,
+            },
+            Response::Stats(ServerStats {
+                requests: 42,
+                chips: vec![ChipStats {
+                    chip: 1,
+                    queries: 40,
+                    morphs: 3,
+                    generation: 3,
+                }],
+            }),
+            Response::Bye,
+            Response::Error {
+                kind: ErrorKind::UnknownChip,
+                message: "no chip 7".to_string(),
+            },
+        ];
+        for resp in resps {
+            assert_eq!(Response::parse(&resp.to_json()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn bad_requests_are_errors_not_panics() {
+        for text in [
+            "",
+            "{",
+            "[1,2]",
+            r#"{"op":"warp"}"#,
+            r#"{"op":"query","chip":1,"inputs":"01x"}"#,
+            r#"{"op":"query","chip":"one","inputs":"01"}"#,
+        ] {
+            assert!(Request::parse(text).is_err(), "accepted {text:?}");
+        }
+    }
+
+    #[test]
+    fn design_spec_builds_deterministically_and_zeroes_se() {
+        let design = sample_design();
+        let a = design.build().unwrap();
+        let b = design.build().unwrap();
+        assert_eq!(a.keys.bits(), b.keys.bits());
+        assert_eq!(
+            ril_netlist::write_bench(&a.netlist),
+            ril_netlist::write_bench(&b.netlist)
+        );
+        // zero_se left every ScanEnable bit cleared but the chip valid.
+        assert!(a
+            .keys
+            .kinds()
+            .iter()
+            .zip(a.keys.bits())
+            .all(|(k, &v)| !matches!(k, KeyBitKind::ScanEnable { .. }) || !v));
+        assert!(a.verify(8).unwrap());
+    }
+
+    #[test]
+    fn design_spec_json_round_trips() {
+        let design = sample_design();
+        let v = JsonValue::parse(&design.to_json()).unwrap();
+        assert_eq!(DesignSpec::from_json(&v).unwrap(), design);
+    }
+}

@@ -1,0 +1,53 @@
+//! The morph scheduler: the paper's dynamic defense made operational.
+//!
+//! A chip re-keys itself every K oracle queries (checked inline in the
+//! query path) or every T milliseconds (this module's background thread).
+//! Each morph runs [`ril_core::morph_all`] — functionality under the
+//! correct key is preserved, but the key itself, and with Scan-Enable
+//! circuitry the *scan-response corruption pattern*, changes — so DIPs an
+//! attacker accumulated against an earlier generation stop describing the
+//! chip it is now talking to.
+
+use crate::server::{HostedChip, State};
+use ril_core::{morph_all, MorphReport};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Applies one morph to a hosted chip: re-keys the locked circuit,
+/// re-burns the oracle, bumps the generation, and resets both triggers.
+pub(crate) fn do_morph(chip: &mut HostedChip) -> MorphReport {
+    let report = morph_all(&mut chip.locked, &mut chip.rng);
+    chip.oracle.rekey(&chip.locked);
+    chip.generation += 1;
+    chip.morphs += 1;
+    chip.since_morph = 0;
+    chip.last_morph = Instant::now();
+    ril_trace::counter("serve.morphs", 1);
+    report
+}
+
+/// Spawns the time-based trigger: every tick, morph any chip whose key
+/// has been stable for the configured interval. The tick is a quarter of
+/// the interval (capped at 50 ms) so the jitter stays small relative to T.
+pub(crate) fn spawn_scheduler(state: Arc<State>) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let interval = state
+            .cfg
+            .morph_interval
+            .expect("scheduler spawned without an interval");
+        let tick = (interval / 4)
+            .min(Duration::from_millis(50))
+            .max(Duration::from_millis(1));
+        let _guard = state.install_trace();
+        while !state.shutting_down() {
+            std::thread::sleep(tick);
+            let mut chips = state.chips.lock().expect("chip table");
+            for chip in chips.values_mut() {
+                if chip.last_morph.elapsed() >= interval {
+                    do_morph(chip);
+                }
+            }
+        }
+    })
+}

@@ -1,0 +1,477 @@
+//! The activation service: a TCP listener, a bounded worker pool, and the
+//! hosted-chip table.
+//!
+//! Each worker owns one connection at a time for its whole lifetime
+//! (connection reuse — the SAT attack's thousands of oracle queries ride
+//! one TCP stream). The acceptor polls a shutdown flag between
+//! `accept` attempts, and workers poll it between frames, so
+//! [`ServerHandle::shutdown`] drains the whole service without killing
+//! in-flight requests.
+
+use crate::protocol::{
+    read_frame, write_frame, ChipStats, DesignSpec, ErrorKind, FrameError, Request, Response,
+    ServerStats,
+};
+use crate::scheduler::{do_morph, spawn_scheduler};
+use rand::{rngs::StdRng, SeedableRng};
+use ril_attacks::Oracle;
+use ril_core::LockedCircuit;
+use ril_trace::{SpanId, Tracer};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::ErrorKind as IoKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Decorrelates a design seed from the obfuscator's use of the same seed,
+/// so the morph stream is not the lock stream replayed.
+const MORPH_SEED_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; use port 0 for an OS-assigned port.
+    pub addr: String,
+    /// Worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Morph every chip after this many oracle queries (`None` = off).
+    pub morph_queries: Option<u64>,
+    /// Morph every chip after this much wall time (`None` = off).
+    pub morph_interval: Option<Duration>,
+    /// Per-chip lifetime query budget (`None` = unlimited).
+    pub query_limit: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            morph_queries: None,
+            morph_interval: None,
+            query_limit: None,
+        }
+    }
+}
+
+/// One provisioned chip: the locked circuit it was burned from, its
+/// activated oracle, and the morph bookkeeping.
+pub(crate) struct HostedChip {
+    pub(crate) locked: LockedCircuit,
+    pub(crate) oracle: Oracle,
+    pub(crate) rng: StdRng,
+    pub(crate) queries: u64,
+    pub(crate) morphs: u64,
+    pub(crate) generation: u64,
+    pub(crate) since_morph: u64,
+    pub(crate) last_morph: Instant,
+}
+
+pub(crate) struct State {
+    pub(crate) cfg: ServeConfig,
+    pub(crate) chips: Mutex<BTreeMap<u64, HostedChip>>,
+    next_chip: AtomicU64,
+    requests: AtomicU64,
+    pub(crate) shutdown: AtomicBool,
+    conns: Mutex<VecDeque<TcpStream>>,
+    conns_ready: Condvar,
+    trace: Option<(Tracer, SpanId)>,
+}
+
+impl State {
+    pub(crate) fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Installs this server's trace context on the calling thread (the
+    /// guard must stay alive for `counter()` calls to land).
+    pub(crate) fn install_trace(&self) -> Option<ril_trace::ContextGuard> {
+        self.trace.as_ref().map(|(t, parent)| t.install(*parent))
+    }
+}
+
+/// The ril-serve activation service.
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the acceptor + worker pool (+ time-based morph
+    /// scheduler when configured), and returns the control handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+        Server::start_inner(cfg, None)
+    }
+
+    /// Like [`Server::start`], but every worker and the scheduler join
+    /// `tracer`'s trace as children of `parent`, so `serve.*` counters
+    /// and spans land in the caller's export.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start_traced(
+        cfg: ServeConfig,
+        tracer: &Tracer,
+        parent: SpanId,
+    ) -> std::io::Result<ServerHandle> {
+        Server::start_inner(cfg, Some((tracer.clone(), parent)))
+    }
+
+    fn start_inner(
+        cfg: ServeConfig,
+        trace: Option<(Tracer, SpanId)>,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = cfg.workers.max(1);
+        let state = Arc::new(State {
+            cfg,
+            chips: Mutex::new(BTreeMap::new()),
+            next_chip: AtomicU64::new(1),
+            requests: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(VecDeque::new()),
+            conns_ready: Condvar::new(),
+            trace,
+        });
+
+        let mut threads = Vec::new();
+        {
+            let state = Arc::clone(&state);
+            threads.push(std::thread::spawn(move || accept_loop(&state, &listener)));
+        }
+        for _ in 0..workers {
+            let state = Arc::clone(&state);
+            threads.push(std::thread::spawn(move || worker_loop(&state)));
+        }
+        if state.cfg.morph_interval.is_some() {
+            threads.push(spawn_scheduler(Arc::clone(&state)));
+        }
+
+        Ok(ServerHandle {
+            addr,
+            state,
+            threads: Mutex::new(threads),
+        })
+    }
+}
+
+/// Control handle for a running server. Dropping it does **not** stop the
+/// service; call [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<State>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Provisions a chip directly, without a connection — used by the CLI
+    /// to pre-activate, and by tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the provisioning failure message.
+    pub fn activate(&self, design: &DesignSpec) -> Result<u64, String> {
+        match activate(&self.state, design)? {
+            Response::Activated { chip, .. } => Ok(chip),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Requests handled so far.
+    pub fn requests(&self) -> u64 {
+        self.state.requests.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the service drains — i.e. until some client sends the
+    /// `shutdown` op (or [`ServerHandle::shutdown`] runs on another
+    /// thread). This is how `rilock serve` stays in the foreground.
+    pub fn wait(&self) {
+        let handles: Vec<JoinHandle<()>> = {
+            let mut guard = self.threads.lock().expect("thread table");
+            guard.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Signals shutdown and joins every service thread. Idempotent.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.conns_ready.notify_all();
+        let handles: Vec<JoinHandle<()>> = {
+            let mut guard = self.threads.lock().expect("thread table");
+            guard.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(state: &State, listener: &TcpListener) {
+    let _guard = state.install_trace();
+    while !state.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let mut queue = state.conns.lock().expect("conn queue");
+                queue.push_back(stream);
+                drop(queue);
+                state.conns_ready.notify_one();
+            }
+            Err(e) if e.kind() == IoKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn worker_loop(state: &State) {
+    let _guard = state.install_trace();
+    loop {
+        let stream = {
+            let mut queue = state.conns.lock().expect("conn queue");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if state.shutting_down() {
+                    break None;
+                }
+                let (q, _) = state
+                    .conns_ready
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("conn queue");
+                queue = q;
+            }
+        };
+        let Some(stream) = stream else { return };
+        handle_connection(state, stream);
+    }
+}
+
+/// Polls for the next frame so the worker can notice shutdown between
+/// requests. Returns `Ok(None)` when the server is draining.
+fn poll_frame(state: &State, stream: &mut TcpStream) -> Result<Option<String>, FrameError> {
+    let mut probe = [0u8; 1];
+    loop {
+        match stream.peek(&mut probe) {
+            Ok(0) => return Err(FrameError::Closed),
+            Ok(_) => break,
+            Err(e) if matches!(e.kind(), IoKind::WouldBlock | IoKind::TimedOut) => {
+                if state.shutting_down() {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == IoKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    // A frame has started; give the peer a bounded window to finish it so
+    // a stalled client cannot pin a worker past shutdown.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let frame = read_frame(stream);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    match frame {
+        Ok(text) => Ok(Some(text)),
+        Err(FrameError::Io(e)) if matches!(e.kind(), IoKind::WouldBlock | IoKind::TimedOut) => {
+            Err(FrameError::Truncated)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn handle_connection(state: &State, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    loop {
+        let text = match poll_frame(state, &mut stream) {
+            Ok(Some(text)) => text,
+            // Draining: tell the peer and drop the connection.
+            Ok(None) => {
+                let resp = Response::Error {
+                    kind: ErrorKind::ShuttingDown,
+                    message: "server is shutting down".to_string(),
+                };
+                let _ = write_frame(&mut stream, &resp.to_json());
+                return;
+            }
+            Err(FrameError::Oversized(n)) => {
+                // The frame body was never read, so the stream is no
+                // longer aligned to frame boundaries: answer and close.
+                let resp = Response::Error {
+                    kind: ErrorKind::Oversized,
+                    message: format!("{n}-byte frame exceeds the cap"),
+                };
+                let _ = write_frame(&mut stream, &resp.to_json());
+                return;
+            }
+            Err(FrameError::Malformed(msg)) => {
+                let resp = Response::Error {
+                    kind: ErrorKind::Malformed,
+                    message: msg,
+                };
+                let _ = write_frame(&mut stream, &resp.to_json());
+                return;
+            }
+            Err(FrameError::Closed | FrameError::Truncated | FrameError::Io(_)) => return,
+        };
+        ril_trace::counter("serve.requests", 1);
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let (resp, close) = dispatch(state, &text);
+        if write_frame(&mut stream, &resp.to_json()).is_err() {
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+fn err(kind: ErrorKind, message: impl Into<String>) -> Response {
+    Response::Error {
+        kind,
+        message: message.into(),
+    }
+}
+
+/// Routes one parsed frame. Returns the response and whether the
+/// connection should close afterwards.
+fn dispatch(state: &State, text: &str) -> (Response, bool) {
+    let req = match Request::parse(text) {
+        Ok(req) => req,
+        Err(msg) => return (err(ErrorKind::Malformed, msg), false),
+    };
+    match req {
+        Request::Activate { design } => {
+            let resp = match activate(state, &design) {
+                Ok(resp) => resp,
+                Err(msg) => err(ErrorKind::Internal, msg),
+            };
+            (resp, false)
+        }
+        Request::Query { chip, inputs } => (query(state, chip, &[inputs]), false),
+        Request::QueryBatch { chip, patterns } => (query(state, chip, &patterns), false),
+        Request::Morph { chip } => (morph(state, chip), false),
+        Request::Stats => (stats(state), false),
+        Request::Shutdown => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            state.conns_ready.notify_all();
+            (Response::Bye, true)
+        }
+    }
+}
+
+/// Builds and hosts a chip. The expensive lock + compile happens outside
+/// the chip-table lock.
+fn activate(state: &State, design: &DesignSpec) -> Result<Response, String> {
+    let locked = design.build()?;
+    let oracle = Oracle::new(&locked).map_err(|e| format!("oracle build failed: {e}"))?;
+    let chip = HostedChip {
+        rng: StdRng::seed_from_u64(design.seed ^ MORPH_SEED_SALT),
+        queries: 0,
+        morphs: 0,
+        generation: 0,
+        since_morph: 0,
+        last_morph: Instant::now(),
+        oracle,
+        locked,
+    };
+    let inputs = chip.oracle.input_width();
+    let outputs = chip.oracle.output_width();
+    let key_bits = chip.locked.keys.bits().len();
+    let id = state.next_chip.fetch_add(1, Ordering::Relaxed);
+    state.chips.lock().expect("chip table").insert(id, chip);
+    Ok(Response::Activated {
+        chip: id,
+        generation: 0,
+        inputs,
+        outputs,
+        key_bits,
+    })
+}
+
+fn query(state: &State, chip_id: u64, patterns: &[Vec<bool>]) -> Response {
+    let single = patterns.len() == 1;
+    let mut chips = state.chips.lock().expect("chip table");
+    let Some(chip) = chips.get_mut(&chip_id) else {
+        return err(ErrorKind::UnknownChip, format!("no chip {chip_id}"));
+    };
+    if let Some(limit) = state.cfg.query_limit {
+        if chip.queries + patterns.len() as u64 > limit {
+            return err(
+                ErrorKind::RateLimited,
+                format!("chip {chip_id} exhausted its {limit}-query budget"),
+            );
+        }
+    }
+    let width = chip.oracle.input_width();
+    let mut rows = Vec::with_capacity(patterns.len());
+    for pattern in patterns {
+        if pattern.len() != width {
+            return err(
+                ErrorKind::BadWidth,
+                format!("chip {chip_id} takes {width} inputs, got {}", pattern.len()),
+            );
+        }
+        rows.push(chip.oracle.query(pattern));
+    }
+    chip.queries += patterns.len() as u64;
+    chip.since_morph += patterns.len() as u64;
+    // The response reports the generation the answers were produced
+    // under; a query-count morph fires after, never mid-batch.
+    let generation = chip.generation;
+    if let Some(k) = state.cfg.morph_queries {
+        if chip.since_morph >= k {
+            do_morph(chip);
+        }
+    }
+    if single {
+        Response::Outputs {
+            bits: rows.pop().expect("one row"),
+            generation,
+        }
+    } else {
+        Response::Batch { rows, generation }
+    }
+}
+
+fn morph(state: &State, chip_id: u64) -> Response {
+    let mut chips = state.chips.lock().expect("chip table");
+    let Some(chip) = chips.get_mut(&chip_id) else {
+        return err(ErrorKind::UnknownChip, format!("no chip {chip_id}"));
+    };
+    let report = do_morph(chip);
+    Response::Morphed {
+        generation: chip.generation,
+        bits_changed: report.bits_changed as u64,
+    }
+}
+
+fn stats(state: &State) -> Response {
+    let chips = state.chips.lock().expect("chip table");
+    Response::Stats(ServerStats {
+        requests: state.requests.load(Ordering::Relaxed),
+        chips: chips
+            .iter()
+            .map(|(&chip, c)| ChipStats {
+                chip,
+                queries: c.queries,
+                morphs: c.morphs,
+                generation: c.generation,
+            })
+            .collect(),
+    })
+}

@@ -1,0 +1,172 @@
+//! End-to-end: real attacks over real sockets, with and without the
+//! morph scheduler armed.
+
+use ril_attacks::prelude::*;
+use ril_serve::{ClientConfig, DesignSpec, RemoteOracle, ServeConfig, Server};
+use ril_trace::{Phase, Tracer};
+use std::time::Duration;
+
+fn design(scan: bool, zero_se: bool, seed: u64) -> DesignSpec {
+    DesignSpec {
+        benchmark: "adder:8".to_string(),
+        spec: "2x2".to_string(),
+        blocks: 2,
+        seed,
+        scan,
+        zero_se,
+    }
+}
+
+fn attack_cfg() -> SatAttackConfig {
+    SatAttackConfig {
+        timeout: Some(Duration::from_secs(30)),
+        ..SatAttackConfig::default()
+    }
+}
+
+/// The tentpole claim, static half: with no morphing, a stock SAT attack
+/// driven through [`RemoteOracle`] recovers a truly-correct key, exactly
+/// as it does against the in-process oracle.
+#[test]
+fn sat_attack_succeeds_through_a_static_remote_oracle() {
+    let handle = Server::start(ServeConfig::default()).unwrap();
+    let design = design(false, false, 41);
+    let locked = design.build().unwrap();
+    let view = attacker_view(&locked);
+
+    let mut oracle =
+        RemoteOracle::activate(handle.addr().to_string(), ClientConfig::default(), &design)
+            .unwrap();
+    let report = ril_attacks::satattack::sat_attack(&view, &mut oracle, &attack_cfg());
+    let AttackResult::ExactKey(key) = &report.result else {
+        panic!("remote attack failed: {report}");
+    };
+    assert!(locked.equivalent_under_key(key, 32).unwrap());
+    assert_eq!(oracle.generation_changes(), 0, "no scheduler is armed");
+    assert!(oracle.queries() > 0);
+
+    // The server counted the same traffic.
+    let stats = oracle.client().stats().unwrap();
+    assert_eq!(stats.chips.len(), 1);
+    assert!(stats.chips[0].queries >= oracle.queries());
+    assert_eq!(stats.chips[0].morphs, 0);
+    handle.shutdown();
+}
+
+/// The tentpole claim, dynamic half: the same attack against the same
+/// design family is defeated when the query-count morph trigger re-rolls
+/// the Scan-Enable keys out from under the accumulating DIP set.
+#[test]
+fn query_triggered_morphing_defeats_the_remote_attack() {
+    let tracer = Tracer::new();
+    let root = tracer.open_root("e2e", Phase::Experiment);
+    let handle = Server::start_traced(
+        ServeConfig {
+            morph_queries: Some(1),
+            ..ServeConfig::default()
+        },
+        &tracer,
+        root,
+    )
+    .unwrap();
+
+    // A fresh SE generation per query is overwhelmingly likely to corrupt
+    // some accumulated DIP response, but a tiny adder can occasionally
+    // dodge every re-roll — so, like the static scan-defense test in
+    // ril-attacks, try a few seeds and require a defeat among them.
+    let mut defeated = false;
+    for seed in 41..46 {
+        // Provisioned transparent (SE keys zeroed): only the morphs arm
+        // the scan corruption — exactly the paper's dynamic defense.
+        let design = DesignSpec {
+            blocks: 3,
+            ..design(true, true, seed)
+        };
+        let locked = design.build().unwrap();
+        let view = attacker_view(&locked);
+
+        let mut oracle =
+            RemoteOracle::activate(handle.addr().to_string(), ClientConfig::default(), &design)
+                .unwrap();
+        let report = ril_attacks::satattack::sat_attack(&view, &mut oracle, &attack_cfg());
+        let truly_correct = match &report.result {
+            AttackResult::ExactKey(key) => locked.equivalent_under_key(key, 32).unwrap(),
+            _ => false,
+        };
+        assert!(
+            oracle.generation_changes() > 0,
+            "the oracle should have observed generation bumps"
+        );
+        if !truly_correct {
+            defeated = true;
+            break;
+        }
+    }
+    assert!(
+        defeated,
+        "a chip morphing every query must defeat the attack on some seed"
+    );
+
+    handle.shutdown();
+    tracer.close(root);
+    assert!(tracer.metrics().counter("serve.morphs") > 0);
+    assert!(tracer.metrics().counter("serve.requests") > 0);
+}
+
+/// The wall-clock trigger morphs chips that receive no traffic at all.
+#[test]
+fn time_triggered_morphing_rekeys_idle_chips() {
+    let handle = Server::start(ServeConfig {
+        morph_interval: Some(Duration::from_millis(20)),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let design = design(true, false, 7);
+    let mut oracle =
+        RemoteOracle::activate(handle.addr().to_string(), ClientConfig::default(), &design)
+            .unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = oracle.client().stats().unwrap();
+        if stats.chips[0].morphs >= 2 {
+            assert_eq!(stats.chips[0].generation, stats.chips[0].morphs);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "scheduler never fired: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.shutdown();
+}
+
+/// Morphing preserves the chip's functional contract: a scan-free chip
+/// answers identically across generations, and every manual morph bumps
+/// the generation exactly once.
+#[test]
+fn manual_morphs_preserve_functional_responses() {
+    let handle = Server::start(ServeConfig::default()).unwrap();
+    let design = design(false, false, 13);
+    let mut oracle =
+        RemoteOracle::activate(handle.addr().to_string(), ClientConfig::default(), &design)
+            .unwrap();
+    let width = oracle.input_width();
+    let patterns: Vec<Vec<bool>> = (0..16u32)
+        .map(|i| (0..width).map(|b| (i >> (b % 32)) & 1 == 1).collect())
+        .collect();
+    let before: Vec<Vec<bool>> = patterns
+        .iter()
+        .map(|p| oracle.try_query(p).unwrap())
+        .collect();
+    for round in 1..=3u64 {
+        oracle.morph().unwrap();
+        assert_eq!(oracle.generation(), Some(round));
+        let after: Vec<Vec<bool>> = patterns
+            .iter()
+            .map(|p| oracle.try_query(p).unwrap())
+            .collect();
+        assert_eq!(before, after, "morph broke functionality at round {round}");
+    }
+    handle.shutdown();
+}

@@ -1,0 +1,256 @@
+//! Protocol-robustness tests: hostile and broken clients must get typed
+//! errors, never panic a worker or wedge the service.
+
+use ril_serve::{
+    ClientConfig, ClientError, DesignSpec, ErrorKind, RemoteOracle, Request, Response, ServeClient,
+    ServeConfig, Server, MAX_FRAME_BYTES,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn small_design() -> DesignSpec {
+    DesignSpec {
+        benchmark: "adder:6".to_string(),
+        spec: "2x2".to_string(),
+        blocks: 1,
+        seed: 3,
+        scan: false,
+        zero_se: false,
+    }
+}
+
+fn fast_client(addr: impl Into<String>) -> ServeClient {
+    ServeClient::with_config(
+        addr,
+        ClientConfig {
+            timeout: Duration::from_secs(2),
+            retries: 1,
+            backoff: Duration::from_millis(10),
+        },
+    )
+}
+
+#[test]
+fn malformed_frames_get_typed_errors() {
+    let handle = Server::start(ServeConfig::default()).unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+
+    // Valid frame, garbage payload.
+    let body = b"this is not json";
+    stream
+        .write_all(&(body.len() as u32).to_be_bytes())
+        .unwrap();
+    stream.write_all(body).unwrap();
+    let text = ril_serve::read_frame(&mut stream).unwrap();
+    match Response::parse(&text).unwrap() {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Malformed),
+        other => panic!("expected a malformed error, got {other:?}"),
+    }
+    drop(stream);
+
+    // Valid JSON, unknown op — also typed, and the connection stays alive
+    // (framing is still intact).
+    let mut client = fast_client(handle.addr().to_string());
+    let err = client
+        .request(&Request::Morph { chip: 1 })
+        .expect_err("no chip exists yet");
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            kind: ErrorKind::UnknownChip,
+            ..
+        }
+    ));
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_frames_are_refused_before_the_body_is_read() {
+    let handle = Server::start(ServeConfig::default()).unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+
+    // Declare a 100 MiB frame; send no body at all. The server must
+    // answer from the header alone.
+    let declared: u32 = 100 * 1024 * 1024;
+    assert!(declared as usize > MAX_FRAME_BYTES);
+    stream.write_all(&declared.to_be_bytes()).unwrap();
+    stream.flush().unwrap();
+    let text = ril_serve::read_frame(&mut stream).unwrap();
+    match Response::parse(&text).unwrap() {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Oversized),
+        other => panic!("expected an oversized error, got {other:?}"),
+    }
+    // The server closes the now-unframed connection.
+    let mut rest = Vec::new();
+    let n = stream.read_to_end(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "connection must close after an oversized frame");
+    handle.shutdown();
+}
+
+#[test]
+fn truncated_frames_do_not_wedge_the_service() {
+    let handle = Server::start(ServeConfig::default()).unwrap();
+
+    // Half a header, then hang up.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.write_all(&[0u8, 0]).unwrap();
+    drop(stream);
+
+    // A full header promising a body that never comes, then hang up.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.write_all(&64u32.to_be_bytes()).unwrap();
+    stream.write_all(b"partial").unwrap();
+    drop(stream);
+
+    // The service keeps answering new clients.
+    let mut client = fast_client(handle.addr().to_string());
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.chips.len(), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn bad_query_widths_are_typed() {
+    let handle = Server::start(ServeConfig::default()).unwrap();
+    let mut client = fast_client(handle.addr().to_string());
+    let chip = match client
+        .request(&Request::Activate {
+            design: small_design(),
+        })
+        .unwrap()
+    {
+        Response::Activated { chip, .. } => chip,
+        other => panic!("activation failed: {other:?}"),
+    };
+    let err = client
+        .request(&Request::Query {
+            chip,
+            inputs: vec![true; 3],
+        })
+        .expect_err("wrong width must be rejected");
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            kind: ErrorKind::BadWidth,
+            ..
+        }
+    ));
+    handle.shutdown();
+}
+
+#[test]
+fn query_limits_rate_limit_the_chip() {
+    let handle = Server::start(ServeConfig {
+        query_limit: Some(4),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let design = small_design();
+    let mut oracle =
+        RemoteOracle::activate(handle.addr().to_string(), ClientConfig::default(), &design)
+            .unwrap();
+    use ril_attacks::OracleSource;
+    let width = oracle.input_width();
+    for _ in 0..4 {
+        oracle.try_query(&vec![false; width]).unwrap();
+    }
+    let err = oracle
+        .try_query(&vec![false; width])
+        .expect_err("budget is exhausted");
+    assert_eq!(
+        err,
+        ril_attacks::OracleError::Protocol {
+            kind: "rate_limited".to_string(),
+            message: format!("chip {} exhausted its 4-query budget", oracle.chip()),
+        }
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_benchmarks_fail_activation_with_internal() {
+    let handle = Server::start(ServeConfig::default()).unwrap();
+    let mut client = fast_client(handle.addr().to_string());
+    let err = client
+        .request(&Request::Activate {
+            design: DesignSpec {
+                benchmark: "no-such-circuit".to_string(),
+                ..small_design()
+            },
+        })
+        .expect_err("unknown benchmark");
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            kind: ErrorKind::Internal,
+            ..
+        }
+    ));
+    handle.shutdown();
+}
+
+#[test]
+fn dead_servers_produce_transport_errors_after_retries() {
+    // Bind a port, then close it so nothing listens there.
+    let dead_addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    let mut client = ServeClient::with_config(
+        dead_addr.to_string(),
+        ClientConfig {
+            timeout: Duration::from_millis(200),
+            retries: 2,
+            backoff: Duration::from_millis(1),
+        },
+    );
+    let err = client
+        .request(&Request::Stats)
+        .expect_err("nothing listens");
+    match err {
+        ClientError::Transport(msg) => {
+            assert!(msg.contains("3 attempts"), "retry count missing: {msg}")
+        }
+        other => panic!("expected a transport error, got {other:?}"),
+    }
+
+    // The same failure through the OracleSource surface is a typed
+    // OracleError, which the attack loop turns into AttackResult::Failed.
+    use ril_attacks::OracleSource;
+    let mut oracle = RemoteOracle::bind(
+        dead_addr.to_string(),
+        ClientConfig {
+            timeout: Duration::from_millis(200),
+            retries: 1,
+            backoff: Duration::from_millis(1),
+        },
+        1,
+        4,
+        4,
+    );
+    match oracle.try_query(&[false; 4]) {
+        Err(ril_attacks::OracleError::Transport(_)) => {}
+        other => panic!("expected a transport oracle error, got {other:?}"),
+    }
+}
+
+#[test]
+fn shutdown_op_drains_the_server() {
+    let handle = Server::start(ServeConfig::default()).unwrap();
+    let addr = handle.addr();
+    let mut client = fast_client(addr.to_string());
+    client.shutdown_server().unwrap();
+    handle.shutdown(); // joins every thread; must not hang
+                       // The listener is gone: a fresh connection is refused (or, at worst,
+                       // accepted by nobody and then reset).
+    std::thread::sleep(Duration::from_millis(50));
+    let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err();
+    assert!(refused, "listener should be closed after shutdown");
+}

@@ -15,6 +15,39 @@ cargo fmt --all --check
 echo "== clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== serve smoke (rilock serve + remote SAT attack with morphing) =="
+mkdir -p exp_out
+ADDR_FILE=exp_out/ci_serve.addr
+rm -f "$ADDR_FILE"
+target/release/rilock serve --addr 127.0.0.1:0 --addr-file "$ADDR_FILE" \
+  --workers 2 --morph-queries 2 >exp_out/ci_serve.log 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$ADDR_FILE" ] && break; sleep 0.1; done
+[ -s "$ADDR_FILE" ] || { echo "serve never became ready"; kill "$SERVE_PID"; exit 1; }
+# A morphing chip with an armed-by-morph SE stage: the attack itself may
+# win or be defended, but the round trip, the re-keys, and the drain must
+# all be clean.
+target/release/rilock remote-attack "$(cat "$ADDR_FILE")" \
+  --benchmark adder:8 --spec 2x2 --blocks 2 --seed 7 --scan --zero-se \
+  --timeout 30 --shutdown >exp_out/ci_remote_attack.log 2>&1 \
+  || { tail -20 exp_out/ci_serve.log exp_out/ci_remote_attack.log; exit 1; }
+grep -q "server drained" exp_out/ci_remote_attack.log
+# The scheduler must actually have re-keyed the chip mid-attack (the
+# design/seed/solver are all pinned, so the count is deterministic).
+grep -q "re-key(s) observed" exp_out/ci_remote_attack.log
+! grep -q "(0 re-key(s) observed" exp_out/ci_remote_attack.log
+# Clean shutdown: the server process must exit 0 after the drain.
+wait "$SERVE_PID"
+grep -q "ril-serve drained" exp_out/ci_serve.log
+tail -4 exp_out/ci_remote_attack.log
+
+echo "== dynamic defense smoke (ril-bench run dynamic_defense --smoke) =="
+RIL_OUT_DIR=exp_out/ci_dynamic RIL_LOG=error cargo run --release -q -p ril-bench --bin ril-bench -- \
+  run dynamic_defense --smoke >exp_out/ci_dynamic.log 2>&1 \
+  || { tail -50 exp_out/ci_dynamic.log; exit 1; }
+tail -10 exp_out/ci_dynamic.log
+cargo run --release -q -p ril-bench --bin ril-bench -- validate exp_out/ci_dynamic
+
 echo "== experiment smoke (ril-bench run --all --smoke) =="
 RIL_OUT_DIR=exp_out/ci_smoke RIL_LOG=error cargo run --release -q -p ril-bench --bin ril-bench -- \
   run --all --smoke >exp_out/ci_smoke.log 2>&1 \

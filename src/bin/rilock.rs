@@ -6,11 +6,19 @@
 //!               [--seed N] [--out locked.bench] [--key key.txt]
 //! rilock attack <locked.bench> --key key.txt [--timeout SECS] [--appsat]
 //! rilock morph  <locked.bench> --key key.txt [--seed N]
+//! rilock serve  [--addr HOST:PORT] [--addr-file PATH] [--workers N]
+//!               [--morph-queries K] [--morph-ms T] [--query-limit N]
+//! rilock remote-attack <HOST:PORT> [--benchmark NAME] [--spec 2x2]
+//!               [--blocks N] [--seed N] [--scan] [--zero-se]
+//!               [--timeout SECS] [--appsat] [--shutdown]
 //! ```
 //!
 //! The key file is one `0`/`1` character per key bit, netlist
 //! `KEYINPUT` order (what `lock` writes). `attack` builds the activated-IC
 //! oracle from the locked netlist plus that key, then plays the adversary.
+//! `serve` hosts activated chips over TCP (with the morph scheduler when
+//! `--morph-queries`/`--morph-ms` are given); `remote-attack` activates a
+//! chip on such a server and plays the adversary across the network.
 
 use ril_blocks::attacks::appsat::appsat_attack;
 use ril_blocks::attacks::satattack::sat_attack;
@@ -18,6 +26,7 @@ use ril_blocks::attacks::{AppSatConfig, Oracle, SatAttackConfig};
 use ril_blocks::core::key::{KeyBitKind, KeyStore};
 use ril_blocks::core::{LockedCircuit, Obfuscator, RilBlockSpec};
 use ril_blocks::netlist::{parse_bench, parse_verilog, write_bench, write_verilog, Netlist};
+use ril_blocks::serve::{ClientConfig, DesignSpec, RemoteOracle, ServeConfig, Server};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -41,6 +50,8 @@ fn run() -> Result<(), String> {
         "lock" => lock(&args[1..]),
         "attack" => attack(&args[1..]),
         "morph" => morph(&args[1..]),
+        "serve" => serve(&args[1..]),
+        "remote-attack" => remote_attack(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -50,7 +61,7 @@ fn run() -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  rilock info   <design.bench>\n  rilock lock   <design.bench|.v> [--spec 8x8x8] [--blocks 3] [--scan] [--seed N] [--out locked.bench] [--key key.txt]\n  rilock attack <locked.bench> --key key.txt [--timeout SECS] [--appsat]\n  rilock morph  <locked.bench> --key key.txt [--seed N]".to_string()
+    "usage:\n  rilock info   <design.bench>\n  rilock lock   <design.bench|.v> [--spec 8x8x8] [--blocks 3] [--scan] [--seed N] [--out locked.bench] [--key key.txt]\n  rilock attack <locked.bench> --key key.txt [--timeout SECS] [--appsat]\n  rilock morph  <locked.bench> --key key.txt [--seed N]\n  rilock serve  [--addr HOST:PORT] [--addr-file PATH] [--workers N] [--morph-queries K] [--morph-ms T] [--query-limit N]\n  rilock remote-attack <HOST:PORT> [--benchmark NAME] [--spec 2x2] [--blocks N] [--seed N] [--scan] [--zero-se] [--timeout SECS] [--appsat] [--shutdown]".to_string()
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -223,6 +234,122 @@ fn attack(args: &[String]) -> Result<(), String> {
             "recovered key agrees with the stored key on {matches}/{} bits",
             key.len()
         );
+    }
+    Ok(())
+}
+
+/// Hosts the activation service until the process is killed or a client
+/// sends the `shutdown` op.
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut cfg = ServeConfig {
+        addr: flag_value(args, "--addr")
+            .unwrap_or("127.0.0.1:0")
+            .to_string(),
+        ..ServeConfig::default()
+    };
+    if let Some(n) = flag_value(args, "--workers") {
+        cfg.workers = n.parse().map_err(|_| "bad --workers".to_string())?;
+    }
+    if let Some(k) = flag_value(args, "--morph-queries") {
+        cfg.morph_queries = Some(k.parse().map_err(|_| "bad --morph-queries".to_string())?);
+    }
+    if let Some(t) = flag_value(args, "--morph-ms") {
+        let ms: u64 = t.parse().map_err(|_| "bad --morph-ms".to_string())?;
+        cfg.morph_interval = Some(Duration::from_millis(ms));
+    }
+    if let Some(n) = flag_value(args, "--query-limit") {
+        cfg.query_limit = Some(n.parse().map_err(|_| "bad --query-limit".to_string())?);
+    }
+
+    let handle = Server::start(cfg).map_err(|e| format!("bind failed: {e}"))?;
+    println!("ril-serve listening on {}", handle.addr());
+    // Scripts discover the OS-assigned port through --addr-file: the file
+    // appears only once the listener is live, so "file exists" doubles as
+    // the readiness signal.
+    if let Some(path) = flag_value(args, "--addr-file") {
+        std::fs::write(path, handle.addr().to_string())
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    handle.wait(); // blocks until a client's `shutdown` op drains us
+    println!("ril-serve drained");
+    Ok(())
+}
+
+fn parse_design(args: &[String]) -> Result<DesignSpec, String> {
+    Ok(DesignSpec {
+        benchmark: flag_value(args, "--benchmark")
+            .unwrap_or("c7552")
+            .to_string(),
+        spec: flag_value(args, "--spec").unwrap_or("2x2").to_string(),
+        blocks: flag_value(args, "--blocks")
+            .unwrap_or("2")
+            .parse()
+            .map_err(|_| "bad --blocks".to_string())?,
+        seed: flag_value(args, "--seed")
+            .unwrap_or("0")
+            .parse()
+            .map_err(|_| "bad --seed".to_string())?,
+        scan: has_flag(args, "--scan"),
+        zero_se: has_flag(args, "--zero-se"),
+    })
+}
+
+/// Activates a chip on a remote server and attacks it across the network.
+/// The attacker view and the ground-truth check both come from rebuilding
+/// the deterministic design locally.
+fn remote_attack(args: &[String]) -> Result<(), String> {
+    let addr = args.first().ok_or_else(usage)?;
+    let design = parse_design(args)?;
+    let timeout: u64 = flag_value(args, "--timeout")
+        .unwrap_or("60")
+        .parse()
+        .map_err(|_| "bad --timeout".to_string())?;
+
+    let locked = design.build()?;
+    let view = ril_blocks::attacks::attacker_view(&locked);
+    let mut oracle = RemoteOracle::activate(addr.clone(), ClientConfig::default(), &design)
+        .map_err(|e| format!("activation on {addr} failed: {e}"))?;
+    println!(
+        "activated chip {} on {addr} ({} inputs, {} key bits)",
+        oracle.chip(),
+        view.data_inputs().len(),
+        locked.keys.bits().len(),
+    );
+
+    let report = if has_flag(args, "--appsat") {
+        let cfg = AppSatConfig {
+            timeout: Some(Duration::from_secs(timeout)),
+            ..AppSatConfig::default()
+        };
+        appsat_attack(&view, &mut oracle, &cfg)
+    } else {
+        let cfg = SatAttackConfig {
+            timeout: Some(Duration::from_secs(timeout)),
+            ..SatAttackConfig::default()
+        };
+        sat_attack(&view, &mut oracle, &cfg)
+    };
+    println!("{report}");
+    if let Some(key) = report.result.key() {
+        let correct = locked
+            .equivalent_under_key(key, 32)
+            .map_err(|e| e.to_string())?;
+        println!("recovered key functionally correct: {correct}");
+    }
+    use ril_blocks::attacks::OracleSource;
+    println!(
+        "oracle: {} queries, generation {} ({} re-key(s) observed mid-attack)",
+        oracle.queries(),
+        oracle.generation().unwrap_or(0),
+        oracle.generation_changes(),
+    );
+
+    if has_flag(args, "--shutdown") {
+        oracle
+            .client()
+            .shutdown_server()
+            .map_err(|e| format!("shutdown failed: {e}"))?;
+        println!("server drained");
     }
     Ok(())
 }

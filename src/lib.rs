@@ -17,7 +17,10 @@
 //! * [`core`] — the RIL-Block obfuscation primitives, insertion, dynamic
 //!   morphing, metrics and baseline locks;
 //! * [`attacks`] — SAT attack, AppSAT, removal, ScanSAT, preprocessing;
-//! * [`sca`] — power-trace synthesis and DPA/CPA attacks.
+//! * [`sca`] — power-trace synthesis and DPA/CPA attacks;
+//! * [`serve`] — the networked activation service: hosted chips behind a
+//!   framed TCP protocol, a live morph scheduler, and the
+//!   [`serve::RemoteOracle`] adapter that points the attack suite at it.
 //!
 //! ## Quickstart
 //!
@@ -45,3 +48,4 @@ pub use ril_mram as mram;
 pub use ril_netlist as netlist;
 pub use ril_sat as sat;
 pub use ril_sca as sca;
+pub use ril_serve as serve;
