@@ -180,23 +180,9 @@ fn appsat_attack_inner(
     }
 }
 
-/// Full harness flow: attacker view + oracle from a locked circuit, with a
-/// ground-truth functional check on the recovered key.
-///
-/// # Errors
-///
-/// Propagates simulator construction failures.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `ril_attacks::run_attack(AttackKind::AppSat, ..)` (or `AppSatAttack.run(..)`)"
-)]
-pub fn run_appsat(
-    locked: &LockedCircuit,
-    cfg: &AppSatConfig,
-) -> Result<AttackReport, ril_netlist::NetlistError> {
-    run_appsat_impl(locked, cfg)
-}
-
+/// Full harness flow behind [`crate::run_attack`]: attacker view + oracle
+/// from a locked circuit, with a ground-truth functional check on the
+/// recovered key.
 pub(crate) fn run_appsat_impl(
     locked: &LockedCircuit,
     cfg: &AppSatConfig,
@@ -213,7 +199,6 @@ pub(crate) fn run_appsat_impl(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated wrappers are exercised on purpose
 mod tests {
     use super::*;
     use ril_core::baselines::{sfll_lock, xor_lock};
@@ -231,7 +216,7 @@ mod tests {
     fn appsat_recovers_xor_lock_exactly_or_approximately() {
         let host = generators::adder(8);
         let locked = xor_lock(&host, 10, 4).unwrap();
-        let report = run_appsat(&locked, &fast_cfg()).unwrap();
+        let report = run_appsat_impl(&locked, &fast_cfg()).unwrap();
         assert!(report.result.succeeded(), "{report}");
         assert_eq!(report.functionally_correct, Some(true), "{report}");
     }
@@ -247,7 +232,7 @@ mod tests {
             rounds_per_estimate: 2,
             ..fast_cfg()
         };
-        let report = run_appsat(&locked, &cfg).unwrap();
+        let report = run_appsat_impl(&locked, &cfg).unwrap();
         assert!(report.result.succeeded(), "{report}");
         match report.result {
             AttackResult::ApproxKey { est_error, .. } => assert!(est_error <= 0.01),
@@ -264,7 +249,7 @@ mod tests {
             .seed(8)
             .obfuscate(&host)
             .unwrap();
-        let report = run_appsat(&locked, &fast_cfg()).unwrap();
+        let report = run_appsat_impl(&locked, &fast_cfg()).unwrap();
         assert!(report.result.succeeded(), "{report}");
         assert_eq!(report.functionally_correct, Some(true));
     }
@@ -289,7 +274,7 @@ mod tests {
             if !any_se {
                 continue;
             }
-            let report = run_appsat(&locked, &fast_cfg()).unwrap();
+            let report = run_appsat_impl(&locked, &fast_cfg()).unwrap();
             let defeated = matches!(
                 report.result,
                 AttackResult::Failed(_) | AttackResult::Timeout
@@ -312,7 +297,7 @@ mod tests {
             timeout: Some(Duration::from_millis(50)),
             ..AppSatConfig::default()
         };
-        let report = run_appsat(&locked, &cfg).unwrap();
+        let report = run_appsat_impl(&locked, &cfg).unwrap();
         assert_eq!(report.result, AttackResult::Timeout);
     }
 }

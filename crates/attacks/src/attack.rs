@@ -10,8 +10,11 @@
 //! by kind. Every attack returns the same [`AttackOutcome`], so the bench
 //! drivers iterate over kinds instead of special-casing call signatures.
 //!
-//! The old entry points (`run_sat_attack`, `run_appsat`, `scansat_attack`,
-//! `removal_attack`) remain as deprecated thin wrappers.
+//! The pre-0.4 per-attack entry points (`run_sat_attack`, `run_appsat`,
+//! `scansat_attack`, `removal_attack`) are gone; the oracle-level drivers
+//! (`satattack::sat_attack`, `appsat::appsat_attack`,
+//! `scansat::scansat_model_attack`) stay at their module paths for callers
+//! that bring their own oracle.
 
 use crate::appsat::{run_appsat_impl, AppSatConfig};
 use crate::removal::{removal_attack_impl, RemovalReport};

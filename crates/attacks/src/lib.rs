@@ -67,15 +67,3 @@ pub use removal::RemovalReport;
 pub use report::{AttackReport, AttackResult, IterationStats};
 pub use satattack::{default_timeout, SatAttackConfig};
 pub use scansat::{output_inversion_lock, scansat_model_attack};
-
-// Deprecated entry points, re-exported for compatibility. The oracle-level
-// drivers (`satattack::sat_attack`, `appsat::appsat_attack`) stay at their
-// module paths; [`run_attack`] is the canonical root-level surface.
-#[allow(deprecated)]
-pub use appsat::run_appsat;
-#[allow(deprecated)]
-pub use removal::removal_attack;
-#[allow(deprecated)]
-pub use satattack::run_sat_attack;
-#[allow(deprecated)]
-pub use scansat::scansat_attack;

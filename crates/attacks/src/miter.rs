@@ -13,7 +13,6 @@
 //! the paper's tables measure.
 
 use ril_core::{LockedCircuit, SE_PIN};
-use ril_netlist::cone::fanout_cone;
 use ril_netlist::{GateId, NetId, Netlist, Simulator};
 use ril_sat::bva::one_hot_selection;
 use ril_sat::tseitin::encode_selected;
@@ -50,6 +49,20 @@ pub(crate) struct AttackInstance {
     /// Constant rails of the miter and finder formulas.
     const_m: (Var, Var),
     const_f: (Var, Var),
+    /// Key-generation guard literals (miter, finder). Every DIP's
+    /// response-forcing clauses are conditioned on the guard of the oracle
+    /// generation they were recorded under, so when the target morphs the
+    /// stale constraints retire in O(1) — the old guard is falsified and
+    /// the solvers keep their variable pools, learned clauses and
+    /// heuristic state.
+    guard_m: Lit,
+    guard_f: Lit,
+    /// Oracle key generation the current guards cover.
+    generation: u64,
+    /// DIP constraints recorded under the current generation.
+    active_dips: usize,
+    /// DIP constraints retired by generation bumps so far.
+    retired_dips: usize,
     sim: Simulator,
 }
 
@@ -75,10 +88,12 @@ impl AttackInstance {
             .map(|(i, _)| i)
             .collect();
 
-        // Key-dependent cones.
+        // Key-dependent cones, from the netlist's cached key analysis (one
+        // BFS per key bit, shared with every other consumer of the cones).
+        let key_analysis = nl.key_analysis();
         let mut dependent_gates: HashSet<GateId> = HashSet::new();
-        for &k in &key_inputs {
-            dependent_gates.extend(fanout_cone(nl, k));
+        for bit in 0..key_analysis.key_bits() {
+            dependent_gates.extend(key_analysis.cone(bit).iter().copied());
         }
         let dependent_nets: HashSet<NetId> = dependent_gates
             .iter()
@@ -164,19 +179,21 @@ impl AttackInstance {
         );
         miter_cnf.add_clause(diff);
 
-        // Constant rails.
+        // Constant rails + generation-0 DIP guard.
         let ct = miter_cnf.new_var();
         let cf = miter_cnf.new_var();
         miter_cnf.add_clause([ct.positive()]);
         miter_cnf.add_clause([cf.negative()]);
+        let guard_m = miter_cnf.new_var().positive();
 
-        // Finder formula: key vars + its own constant rails.
+        // Finder formula: key vars + its own constant rails and guard.
         let mut finder_cnf = Cnf::new();
         let keyf = finder_cnf.new_vars(key_inputs.len());
         let ft = finder_cnf.new_var();
         let ff = finder_cnf.new_var();
         finder_cnf.add_clause([ft.positive()]);
         finder_cnf.add_clause([ff.negative()]);
+        let guard_f = finder_cnf.new_var().positive();
 
         // Both solvers are constructed here, once; from now on clauses are
         // only ever *appended*. The CNFs degrade to scratch buffers.
@@ -203,8 +220,59 @@ impl AttackInstance {
             dependent_nets,
             const_m: (ct, cf),
             const_f: (ft, ff),
+            guard_m,
+            guard_f,
+            generation: 0,
+            active_dips: 0,
+            retired_dips: 0,
             sim: Simulator::new(nl).expect("combinational"),
         }
+    }
+
+    /// Observes the oracle's key generation. On a bump (the target
+    /// morphed), the DIP responses recorded so far may be stale — with
+    /// Scan-Enable obfuscation a re-rolled `K_SE` changes every scan
+    /// response, so keeping them could exclude *all* keys of the new
+    /// generation. The old generation's guards are permanently falsified
+    /// (the dead clauses are never satisfied again) and fresh guards are
+    /// allocated through the scratch CNFs so their variable pools stay in
+    /// lock-step with the sessions'. Returns how many DIP constraints
+    /// were retired.
+    pub(crate) fn observe_generation(&mut self, generation: u64) -> usize {
+        if generation == self.generation {
+            return 0;
+        }
+        self.generation = generation;
+        if self.active_dips == 0 {
+            // Nothing recorded under the old generation — reuse its
+            // untouched guards.
+            return 0;
+        }
+        let retired = self.active_dips;
+        self.miter_cnf.add_clause([!self.guard_m]);
+        self.guard_m = self.miter_cnf.new_var().positive();
+        self.miter.append_cnf(&self.miter_cnf);
+        self.miter_cnf.clear_clauses();
+        self.finder_cnf.add_clause([!self.guard_f]);
+        self.guard_f = self.finder_cnf.new_var().positive();
+        self.finder.append_cnf(&self.finder_cnf);
+        self.finder_cnf.clear_clauses();
+        self.retired_dips += retired;
+        self.active_dips = 0;
+        ril_trace::counter("attack.dips_retired", retired as u64);
+        retired
+    }
+
+    /// DIP constraints retired by generation bumps so far.
+    #[cfg(test)]
+    pub(crate) fn retired_dips(&self) -> usize {
+        self.retired_dips
+    }
+
+    /// Solves the miter for a fresh DIP under the current generation's
+    /// guard (retired generations' constraints stay inactive).
+    pub(crate) fn solve_miter(&mut self) -> Outcome {
+        self.miter.solve_under(&[self.guard_m])
     }
 
     /// Extracts the full data-input assignment (DIP) from the last SAT
@@ -264,6 +332,7 @@ impl AttackInstance {
         self.encode_constraint_copy(nl, &keyf, response, false);
         self.finder.append_cnf(&self.finder_cnf);
         self.finder_cnf.clear_clauses();
+        self.active_dips += 1;
         Ok(())
     }
 
@@ -275,10 +344,10 @@ impl AttackInstance {
         response: &[bool],
         into_miter: bool,
     ) {
-        let (cnf, (ct, cf)) = if into_miter {
-            (&mut self.miter_cnf, self.const_m)
+        let (cnf, (ct, cf), guard) = if into_miter {
+            (&mut self.miter_cnf, self.const_m, self.guard_m)
         } else {
-            (&mut self.finder_cnf, self.const_f)
+            (&mut self.finder_cnf, self.const_f, self.guard_f)
         };
         // Pin key-independent boundary nets to the simulated constants.
         let mut pinned: HashMap<NetId, Var> = HashMap::new();
@@ -295,10 +364,12 @@ impl AttackInstance {
         }
         let map = encode_selected(nl, cnf, &pinned, |gid| self.dependent_gates.contains(&gid))
             .expect("combinational");
-        // Force key-dependent outputs to the oracle response.
+        // Force key-dependent outputs to the oracle response, conditioned
+        // on the recording generation's guard (the cone encoding itself is
+        // definitional and stays valid across morphs).
         for (&o, &bit) in nl.outputs().iter().zip(response) {
             if self.dependent_nets.contains(&o) {
-                cnf.add_clause([map[&o].lit(!bit)]);
+                cnf.add_clause([!guard, map[&o].lit(!bit)]);
             }
         }
     }
@@ -312,7 +383,7 @@ impl AttackInstance {
         timeout: Option<Duration>,
     ) -> Result<Option<Vec<bool>>, ()> {
         self.finder.set_budget(Budget::from_timeout(timeout));
-        match self.finder.solve() {
+        match self.finder.solve_under(&[self.guard_f]) {
             Outcome::Sat => {
                 let model = self.finder.model();
                 Ok(Some(self.keyf.iter().map(|v| model[v.index()]).collect()))
@@ -333,7 +404,10 @@ impl AttackInstance {
         timeout: Option<Duration>,
     ) -> Result<Option<Vec<bool>>, ()> {
         self.finder.set_budget(Budget::from_timeout(timeout));
-        match self.finder.solve_under(assumptions) {
+        let mut guarded = Vec::with_capacity(assumptions.len() + 1);
+        guarded.push(self.guard_f);
+        guarded.extend_from_slice(assumptions);
+        match self.finder.solve_under(&guarded) {
             Outcome::Sat => {
                 let model = self.finder.model();
                 Ok(Some(self.keyf.iter().map(|v| model[v.index()]).collect()))

@@ -15,7 +15,6 @@ use crate::oracle::attacker_view;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ril_core::LockedCircuit;
-use ril_netlist::cone::fanout_cone;
 use ril_netlist::generators::const_net;
 use ril_netlist::{GateId, NetId, Netlist, NetlistError, Simulator};
 use ril_sat::{EquivOptions, EquivResult, EquivSession};
@@ -50,25 +49,9 @@ impl RemovalReport {
     }
 }
 
-/// Runs the removal+bypass attack on a locked circuit and scores the
-/// salvaged netlist against the true function over `patterns` random
-/// 64-pattern words.
-///
-/// # Errors
-///
-/// Propagates netlist/simulator failures.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `ril_attacks::run_attack(AttackKind::Removal, ..)` (or `RemovalAttack.run(..)`)"
-)]
-pub fn removal_attack(
-    locked: &LockedCircuit,
-    patterns: usize,
-    seed: u64,
-) -> Result<RemovalReport, NetlistError> {
-    removal_attack_impl(locked, patterns, seed)
-}
-
+/// Runs the removal+bypass attack (behind [`crate::run_attack`]) on a
+/// locked circuit and scores the salvaged netlist against the true
+/// function over `patterns` random 64-pattern words.
 pub(crate) fn removal_attack_impl(
     locked: &LockedCircuit,
     patterns: usize,
@@ -92,10 +75,12 @@ fn removal_attack_inner(
 ) -> Result<RemovalReport, NetlistError> {
     let mut nl = attacker_view(locked);
 
-    // The key cone: every gate reachable from any key input.
+    // The key cone: every gate reachable from any key input, from the
+    // netlist's cached per-bit key analysis.
+    let key_analysis = nl.key_analysis();
     let mut cone: HashSet<GateId> = HashSet::new();
-    for &k in nl.key_inputs() {
-        cone.extend(fanout_cone(&nl, k));
+    for bit in 0..key_analysis.key_bits() {
+        cone.extend(key_analysis.cone(bit).iter().copied());
     }
 
     // Choose a bypass replacement for each cone gate, in topological order
@@ -199,7 +184,6 @@ fn removal_attack_inner(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated wrappers are exercised on purpose
 mod tests {
     use super::*;
     use ril_core::baselines::sfll_lock;
@@ -212,7 +196,7 @@ mod tests {
         // (at most) one protected input pattern — near-zero error.
         let host = generators::adder(8);
         let locked = sfll_lock(&host, 8, 3).unwrap();
-        let report = removal_attack(&locked, 32, 1).unwrap();
+        let report = removal_attack_impl(&locked, 32, 1).unwrap();
         assert!(report.removed_gates > 0);
         assert!(report.bypassed > 0);
         assert!(
@@ -232,7 +216,7 @@ mod tests {
             .seed(5)
             .obfuscate(&host)
             .unwrap();
-        let report = removal_attack(&locked, 32, 2).unwrap();
+        let report = removal_attack_impl(&locked, 32, 2).unwrap();
         assert!(report.removed_gates > 0);
         assert!(
             !report.succeeded(0.01),
@@ -252,7 +236,7 @@ mod tests {
             .seed(6)
             .obfuscate(&host)
             .unwrap();
-        let report = removal_attack(&locked, 32, 3).unwrap();
+        let report = removal_attack_impl(&locked, 32, 3).unwrap();
         assert!(report.error_rate > 0.01, "error {}", report.error_rate);
     }
 
@@ -260,7 +244,7 @@ mod tests {
     fn report_success_threshold() {
         let host = generators::adder(6);
         let locked = sfll_lock(&host, 6, 9).unwrap();
-        let report = removal_attack(&locked, 16, 4).unwrap();
+        let report = removal_attack_impl(&locked, 16, 4).unwrap();
         assert!(report.succeeded(1.0));
     }
 }

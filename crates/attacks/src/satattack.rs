@@ -31,7 +31,7 @@ pub struct SatAttackConfig {
     pub solver: SolverConfig,
     /// Add the one-layer one-hot re-encoding of every routing network
     /// (Section IV-B preprocessing). Requires block metadata, i.e. the
-    /// [`run_sat_attack`] entry point.
+    /// [`crate::run_attack`] entry point.
     pub one_hot_routing: bool,
 }
 
@@ -59,7 +59,7 @@ pub fn default_timeout() -> Duration {
 /// source (in-process [`Oracle`] or a remote one).
 ///
 /// The report's `functionally_correct` is left `None` (the attacker cannot
-/// check it); use [`run_sat_attack`] for the full harness flow.
+/// check it); use [`crate::run_attack`] for the full harness flow.
 ///
 /// # Panics
 ///
@@ -139,24 +139,10 @@ fn sat_attack_loop(
     }
 }
 
-/// Full harness flow: builds the attacker view and oracle from a locked
-/// circuit, runs the SAT attack, and checks the recovered key for *true*
-/// functional equivalence (ground truth the attacker lacks).
-///
-/// # Errors
-///
-/// Propagates simulator construction failures.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `ril_attacks::run_attack(AttackKind::Sat, ..)` (or `SatAttack.run(..)`)"
-)]
-pub fn run_sat_attack(
-    locked: &LockedCircuit,
-    cfg: &SatAttackConfig,
-) -> Result<AttackReport, ril_netlist::NetlistError> {
-    run_sat_attack_impl(locked, cfg)
-}
-
+/// Full harness flow behind [`crate::run_attack`]: builds the attacker
+/// view and oracle from a locked circuit, runs the SAT attack, and checks
+/// the recovered key for *true* functional equivalence (ground truth the
+/// attacker lacks).
 pub(crate) fn run_sat_attack_impl(
     locked: &LockedCircuit,
     cfg: &SatAttackConfig,
@@ -174,7 +160,6 @@ pub(crate) fn run_sat_attack_impl(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated wrappers are exercised on purpose
 mod tests {
     use super::*;
     use ril_core::baselines::{antisat_lock, sfll_lock, xor_lock};
@@ -192,7 +177,7 @@ mod tests {
     fn breaks_xor_lock() {
         let host = generators::adder(8);
         let locked = xor_lock(&host, 12, 3).unwrap();
-        let report = run_sat_attack(&locked, &fast_cfg()).unwrap();
+        let report = run_sat_attack_impl(&locked, &fast_cfg()).unwrap();
         assert!(report.result.succeeded(), "{report}");
         assert_eq!(report.functionally_correct, Some(true), "{report}");
     }
@@ -205,7 +190,7 @@ mod tests {
             .seed(5)
             .obfuscate(&host)
             .unwrap();
-        let report = run_sat_attack(&locked, &fast_cfg()).unwrap();
+        let report = run_sat_attack_impl(&locked, &fast_cfg()).unwrap();
         assert!(report.result.succeeded(), "{report}");
         assert_eq!(report.functionally_correct, Some(true), "{report}");
         assert!(report.iterations >= 1);
@@ -215,7 +200,7 @@ mod tests {
     fn report_carries_per_iteration_solver_stats() {
         let host = generators::adder(8);
         let locked = xor_lock(&host, 12, 3).unwrap();
-        let report = run_sat_attack(&locked, &fast_cfg()).unwrap();
+        let report = run_sat_attack_impl(&locked, &fast_cfg()).unwrap();
         assert!(report.result.succeeded(), "{report}");
         // One miter solve per DIP plus the final UNSAT convergence proof.
         assert_eq!(report.iteration_stats.len(), report.iterations + 1);
@@ -251,7 +236,7 @@ mod tests {
             .seed(1001)
             .obfuscate(&host)
             .unwrap();
-        let report = run_sat_attack(&locked, &fast_cfg()).unwrap();
+        let report = run_sat_attack_impl(&locked, &fast_cfg()).unwrap();
         assert!(report.result.succeeded(), "{report}");
         assert_eq!(report.functionally_correct, Some(true), "{report}");
     }
@@ -260,7 +245,7 @@ mod tests {
     fn breaks_antisat_with_enough_iterations() {
         let host = generators::adder(8);
         let locked = antisat_lock(&host, 4, 7).unwrap();
-        let report = run_sat_attack(&locked, &fast_cfg()).unwrap();
+        let report = run_sat_attack_impl(&locked, &fast_cfg()).unwrap();
         assert!(report.result.succeeded(), "{report}");
         assert_eq!(report.functionally_correct, Some(true));
     }
@@ -269,7 +254,7 @@ mod tests {
     fn breaks_sfll_point_function() {
         let host = generators::adder(8);
         let locked = sfll_lock(&host, 6, 9).unwrap();
-        let report = run_sat_attack(&locked, &fast_cfg()).unwrap();
+        let report = run_sat_attack_impl(&locked, &fast_cfg()).unwrap();
         assert!(report.result.succeeded(), "{report}");
         assert_eq!(report.functionally_correct, Some(true));
     }
@@ -293,7 +278,7 @@ mod tests {
             if !any_se {
                 continue;
             }
-            let report = run_sat_attack(&locked, &fast_cfg()).unwrap();
+            let report = run_sat_attack_impl(&locked, &fast_cfg()).unwrap();
             match report.result {
                 AttackResult::Failed(_) | AttackResult::Timeout => return,
                 _ => {
@@ -321,7 +306,7 @@ mod tests {
             timeout: Some(Duration::from_millis(50)),
             ..SatAttackConfig::default()
         };
-        let report = run_sat_attack(&locked, &cfg).unwrap();
+        let report = run_sat_attack_impl(&locked, &cfg).unwrap();
         assert_eq!(report.result, AttackResult::Timeout);
         assert_eq!(report.table_cell(), "∞");
     }
@@ -335,7 +320,7 @@ mod tests {
             timeout: Some(Duration::from_secs(30)),
             ..SatAttackConfig::default()
         };
-        let report = run_sat_attack(&locked, &cfg).unwrap();
+        let report = run_sat_attack_impl(&locked, &cfg).unwrap();
         assert_eq!(report.result, AttackResult::Timeout);
         assert!(report.iterations <= 3);
     }
@@ -352,7 +337,7 @@ mod tests {
             one_hot_routing: true,
             ..fast_cfg()
         };
-        let report = run_sat_attack(&locked, &cfg).unwrap();
+        let report = run_sat_attack_impl(&locked, &cfg).unwrap();
         assert!(report.result.succeeded(), "{report}");
         assert_eq!(report.functionally_correct, Some(true));
     }

@@ -4,7 +4,7 @@
 //! response transformation into the SAT model: if scan responses are the
 //! true outputs XOR-ed with a static key-controlled mask, per-output
 //! inversion key variables absorb the mask and the plain SAT attack runs
-//! through. [`scansat_attack`] implements exactly that model.
+//! through. [`scansat_model_attack`] implements exactly that model.
 //!
 //! It succeeds against a classic output-inversion scan lock
 //! ([`output_inversion_lock`]) but not against the RIL Scan-Enable cell:
@@ -73,20 +73,6 @@ pub fn output_inversion_lock(original: &Netlist, seed: u64) -> Result<LockedCirc
 /// genuinely required. The recovered key is truncated back to the real key
 /// bits for the ground-truth functional check.
 ///
-/// # Errors
-///
-/// Propagates netlist/simulator failures.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `ril_attacks::run_attack(AttackKind::ScanSat, ..)` (or `ScanSatAttack.run(..)`)"
-)]
-pub fn scansat_attack(
-    locked: &LockedCircuit,
-    cfg: &SatAttackConfig,
-) -> Result<AttackReport, NetlistError> {
-    scansat_attack_impl(locked, cfg)
-}
-
 pub(crate) fn scansat_attack_impl(
     locked: &LockedCircuit,
     cfg: &SatAttackConfig,
@@ -201,7 +187,6 @@ fn scansat_attack_inner(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated wrappers are exercised on purpose
 mod tests {
     use super::*;
     use ril_core::{Obfuscator, RilBlockSpec};
@@ -244,7 +229,7 @@ mod tests {
     fn scansat_breaks_boundary_inversion_lock() {
         let host = generators::adder(6);
         let locked = output_inversion_lock(&host, 5).unwrap();
-        let report = scansat_attack(&locked, &fast_cfg()).unwrap();
+        let report = scansat_attack_impl(&locked, &fast_cfg()).unwrap();
         assert!(report.result.succeeded(), "{report}");
         assert_eq!(report.functionally_correct, Some(true), "{report}");
     }
@@ -273,7 +258,7 @@ mod tests {
             }
             // Ensure at least one SE-keyed LUT is NOT directly at an
             // output (otherwise a boundary mask could absorb it).
-            let report = scansat_attack(&locked, &fast_cfg()).unwrap();
+            let report = scansat_attack_impl(&locked, &fast_cfg()).unwrap();
             let defeated = matches!(
                 report.result,
                 AttackResult::Failed(_) | AttackResult::Timeout

@@ -63,12 +63,17 @@ impl<'a> AttackSession<'a> {
         timeout: Option<Duration>,
         max_iterations: Option<usize>,
     ) -> AttackSession<'a> {
-        let inst = AttackInstance::new(nl, solver_config, one_hot_meta);
+        let mut inst = AttackInstance::new(nl, solver_config, one_hot_meta);
         assert_eq!(
             inst.oracle_positions.len(),
             oracle.input_width(),
             "oracle/netlist input mismatch"
         );
+        // Start from the oracle's current key generation (a no-op retire:
+        // nothing is recorded yet).
+        if let Some(g) = oracle.generation() {
+            inst.observe_generation(g);
+        }
         AttackSession {
             nl,
             inst,
@@ -121,7 +126,14 @@ impl<'a> AttackSession<'a> {
         if self.max_iterations.is_some_and(|m| self.iterations >= m) {
             return DipStep::Budget;
         }
-        match self.inst.miter.solve() {
+        // A morphing target bumps its key generation; constraints recorded
+        // against the previous generation are retired before this round's
+        // miter solve so a stale convergence (or contradiction) cannot
+        // leak through.
+        if let Some(g) = oracle.generation() {
+            self.inst.observe_generation(g);
+        }
+        match self.inst.solve_miter() {
             Outcome::Unknown => DipStep::Budget,
             Outcome::Unsat => DipStep::Converged,
             Outcome::Sat => {
@@ -134,6 +146,11 @@ impl<'a> AttackSession<'a> {
                         Err(e) => return DipStep::OracleFailed(e),
                     }
                 };
+                // The query itself may have raced a morph; tag the
+                // constraint with the generation the response belongs to.
+                if let Some(g) = oracle.generation() {
+                    self.inst.observe_generation(g);
+                }
                 match self.inst.add_dip(self.nl, &dip_full, &response) {
                     Ok(()) => DipStep::Distinguished,
                     Err(()) => DipStep::OracleInconsistent,
@@ -193,5 +210,179 @@ impl<'a> AttackSession<'a> {
             finder_stats: self.inst.finder.stats(),
             iteration_stats,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{attacker_view, Oracle, OracleError};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ril_core::{morph_all, Obfuscator, RilBlockSpec};
+    use ril_netlist::generators;
+
+    /// An activated chip that morphs itself: after `morph_after` chip
+    /// accesses the key is re-burned (function preserved) and the exposed
+    /// generation bumps, like `ril-serve`'s dynamic-morphing scheduler.
+    struct MorphingOracle {
+        inner: Oracle,
+        locked: LockedCircuit,
+        rng: StdRng,
+        generation: u64,
+        morph_after: Option<u64>,
+        morph_every_query: bool,
+    }
+
+    impl MorphingOracle {
+        fn new(locked: LockedCircuit) -> MorphingOracle {
+            let inner = Oracle::new(&locked).unwrap();
+            MorphingOracle {
+                inner,
+                locked,
+                rng: StdRng::seed_from_u64(0x4D0),
+                generation: 0,
+                morph_after: None,
+                morph_every_query: false,
+            }
+        }
+
+        fn morph(&mut self) {
+            morph_all(&mut self.locked, &mut self.rng);
+            self.inner.rekey(&self.locked);
+            self.generation += 1;
+        }
+    }
+
+    impl OracleSource for MorphingOracle {
+        fn input_width(&self) -> usize {
+            self.inner.input_width()
+        }
+
+        fn output_width(&self) -> usize {
+            self.inner.output_width()
+        }
+
+        fn try_query(&mut self, inputs: &[bool]) -> Result<Vec<bool>, OracleError> {
+            // Morph *before* answering: the response is then computed under
+            // the generation this source reports afterwards, matching a
+            // remote chip whose responses are stamped with the generation
+            // that produced them.
+            if self.morph_every_query || self.morph_after == Some(self.inner.queries()) {
+                self.morph();
+            }
+            Ok(self.inner.query(inputs))
+        }
+
+        fn queries(&self) -> u64 {
+            self.inner.queries()
+        }
+
+        fn generation(&self) -> Option<u64> {
+            Some(self.generation)
+        }
+    }
+
+    fn locked_adder() -> LockedCircuit {
+        let host = generators::adder(8);
+        Obfuscator::new(RilBlockSpec::size_2x2())
+            .blocks(2)
+            .seed(5)
+            .obfuscate(&host)
+            .unwrap()
+    }
+
+    #[test]
+    fn generation_bump_retires_dips_and_attack_still_converges() {
+        // Without the scan defense a morph preserves even the observable
+        // function, so retiring is conservative — the attack must re-gather
+        // its constraints and still land a functionally correct key.
+        let locked = locked_adder();
+        let view = attacker_view(&locked);
+        let mut oracle = MorphingOracle::new(locked.clone());
+        oracle.morph_after = Some(3);
+        let mut sess = AttackSession::new(
+            &view,
+            &oracle,
+            SolverConfig::default(),
+            None,
+            Some(Duration::from_secs(60)),
+            None,
+        );
+        loop {
+            match sess.step(&mut oracle) {
+                DipStep::Distinguished => {}
+                DipStep::Converged => break,
+                other => panic!("unexpected step outcome: {other:?}"),
+            }
+        }
+        let key = sess
+            .extract_key()
+            .expect("budget not exhausted")
+            .expect("a key consistent with the current generation exists");
+        assert!(locked.equivalent_under_key(&key, 32).unwrap());
+        assert!(
+            sess.inst.retired_dips() >= 3,
+            "the generation bump must retire the DIPs recorded before it \
+             (retired {})",
+            sess.inst.retired_dips()
+        );
+    }
+
+    #[test]
+    fn morph_every_query_starves_the_attack() {
+        // The dynamic-defense limit case: every response belongs to a new
+        // generation, so each round's constraint retires before the next
+        // miter solve and the attack never accumulates progress.
+        let locked = locked_adder();
+        let view = attacker_view(&locked);
+        let mut oracle = MorphingOracle::new(locked);
+        oracle.morph_every_query = true;
+        let mut sess = AttackSession::new(
+            &view,
+            &oracle,
+            SolverConfig::default(),
+            None,
+            Some(Duration::from_secs(60)),
+            Some(6),
+        );
+        loop {
+            match sess.step(&mut oracle) {
+                DipStep::Distinguished => {}
+                DipStep::Budget => break,
+                other => panic!("expected iteration starvation, got {other:?}"),
+            }
+        }
+        assert_eq!(sess.iterations, 6, "every round must yield a fresh DIP");
+        // The morph behind round k's response only becomes visible when
+        // that response arrives, so round k-1's constraint retires after
+        // round k's query: 5 of the 6 recorded DIPs are retired, the last
+        // one never saw a newer generation.
+        assert_eq!(sess.inst.retired_dips(), 5);
+    }
+
+    #[test]
+    fn static_oracle_keeps_all_dips() {
+        let locked = locked_adder();
+        let view = attacker_view(&locked);
+        let mut oracle = Oracle::new(&locked).unwrap();
+        let mut sess = AttackSession::new(
+            &view,
+            &oracle,
+            SolverConfig::default(),
+            None,
+            Some(Duration::from_secs(60)),
+            None,
+        );
+        loop {
+            match sess.step(&mut oracle) {
+                DipStep::Distinguished => {}
+                DipStep::Converged => break,
+                other => panic!("unexpected step outcome: {other:?}"),
+            }
+        }
+        assert_eq!(sess.inst.retired_dips(), 0);
+        let key = sess.extract_key().unwrap().unwrap();
+        assert!(locked.equivalent_under_key(&key, 32).unwrap());
     }
 }

@@ -373,6 +373,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(crate::experiments::fig1::Fig1),
         Box::new(crate::experiments::lut_scaling::LutScaling),
         Box::new(crate::experiments::scan_defense::ScanDefense),
+        Box::new(crate::experiments::incremental_verify::IncrementalVerify),
         Box::new(crate::experiments::dynamic_defense::DynamicDefense),
         Box::new(crate::experiments::table1::Table1),
         Box::new(crate::experiments::table3::Table3),
@@ -475,7 +476,7 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len(), "duplicate experiment names");
-        assert_eq!(names.len(), 13);
+        assert_eq!(names.len(), 14);
         for required in [
             "table1",
             "table3",
@@ -486,6 +487,7 @@ mod tests {
             "fig6",
             "overhead",
             "scan_defense",
+            "incremental_verify",
             "dynamic_defense",
             "corruptibility",
             "key_redundancy",

@@ -3,81 +3,101 @@
 //! The paper's insertion discussion (Section III-D) contrasts random gate
 //! selection with the community habit of targeting large output logic cones;
 //! these helpers supply the cone statistics both policies need.
+//!
+//! All queries route through the netlist's [`AnalysisCache`]: fan-out
+//! traversals reuse the incrementally-maintained [`FanoutTable`] instead of
+//! rebuilding the net → consumers map per call, and key-bit cones come
+//! straight from the cached [`KeyAnalysis`]. Results are sorted `Vec`s so
+//! iteration order is deterministic.
+//!
+//! [`AnalysisCache`]: crate::analysis::AnalysisCache
+//! [`FanoutTable`]: crate::analysis::FanoutTable
+//! [`KeyAnalysis`]: crate::analysis::KeyAnalysis
+
+#![deny(clippy::iter_over_hash_type)]
 
 use crate::netlist::{GateId, NetId, Netlist};
-use std::collections::HashSet;
 
 /// The transitive fan-in cone of a net: every gate whose output can reach
 /// `net` going forward (i.e. all gates `net` structurally depends on,
-/// including its own driver).
-pub fn fanin_cone(nl: &Netlist, net: NetId) -> HashSet<GateId> {
-    let mut seen_nets: HashSet<NetId> = HashSet::new();
-    let mut cone: HashSet<GateId> = HashSet::new();
+/// including its own driver). Sorted by gate id.
+pub fn fanin_cone(nl: &Netlist, net: NetId) -> Vec<GateId> {
+    let mut seen_nets = vec![false; nl.net_count()];
+    let mut cone: Vec<GateId> = Vec::new();
     let mut stack = vec![net];
     while let Some(n) = stack.pop() {
-        if !seen_nets.insert(n) {
+        if std::mem::replace(&mut seen_nets[n.index()], true) {
             continue;
         }
         if let Some(gid) = nl.net(n).driver() {
-            if cone.insert(gid) {
-                stack.extend(nl.gate(gid).inputs().iter().copied());
-            }
+            cone.push(gid);
+            stack.extend(nl.gate(gid).inputs().iter().copied());
         }
     }
+    cone.sort_unstable();
     cone
 }
 
 /// The transitive fan-out cone of a net: every gate whose output
-/// structurally depends on `net`.
-pub fn fanout_cone(nl: &Netlist, net: NetId) -> HashSet<GateId> {
-    let fanout = nl.fanout_map();
-    let mut seen_nets: HashSet<NetId> = HashSet::new();
-    let mut cone: HashSet<GateId> = HashSet::new();
+/// structurally depends on `net`. Sorted by gate id.
+pub fn fanout_cone(nl: &Netlist, net: NetId) -> Vec<GateId> {
+    let fanout = nl.fanout();
+    let mut seen_nets = vec![false; nl.net_count()];
+    let mut in_cone = vec![false; nl.gate_arena_len()];
+    let mut cone: Vec<GateId> = Vec::new();
     let mut stack = vec![net];
     while let Some(n) = stack.pop() {
-        if !seen_nets.insert(n) {
+        if std::mem::replace(&mut seen_nets[n.index()], true) {
             continue;
         }
-        for &gid in &fanout[n.index()] {
-            if cone.insert(gid) {
+        for &gid in fanout.consumers(n) {
+            if !std::mem::replace(&mut in_cone[gid.index()], true) {
+                cone.push(gid);
                 stack.push(nl.gate(gid).output());
             }
         }
     }
+    cone.sort_unstable();
     cone
 }
 
 /// The primary inputs in the transitive fan-in of a net (its structural
-/// support).
-pub fn input_support(nl: &Netlist, net: NetId) -> HashSet<NetId> {
-    let mut seen: HashSet<NetId> = HashSet::new();
-    let mut support = HashSet::new();
+/// support). Sorted by net id.
+pub fn input_support(nl: &Netlist, net: NetId) -> Vec<NetId> {
+    let mut seen = vec![false; nl.net_count()];
+    let mut support: Vec<NetId> = Vec::new();
     let mut stack = vec![net];
     while let Some(n) = stack.pop() {
-        if !seen.insert(n) {
+        if std::mem::replace(&mut seen[n.index()], true) {
             continue;
         }
         match nl.net(n).driver() {
             Some(gid) => stack.extend(nl.gate(gid).inputs().iter().copied()),
             None => {
                 if nl.is_input(n) {
-                    support.insert(n);
+                    support.push(n);
                 }
             }
         }
     }
+    support.sort_unstable();
     support
 }
 
-/// The primary outputs reachable from a gate's output net.
+/// The primary outputs reachable from a gate's output net, in
+/// [`Netlist::outputs`] order.
 pub fn reachable_outputs(nl: &Netlist, gate: GateId) -> Vec<NetId> {
     let out = nl.gate(gate).output();
     let cone = fanout_cone(nl, out);
-    let cone_nets: HashSet<NetId> = cone.iter().map(|&g| nl.gate(g).output()).collect();
+    let mut in_cone = vec![false; nl.net_count()];
+    in_cone[out.index()] = true;
+    for &g in &cone {
+        in_cone[nl.gate(g).output().index()] = true;
+    }
     nl.outputs()
         .iter()
         .copied()
-        .filter(|o| *o == out || cone_nets.contains(o))
+        .filter(|o| in_cone[o.index()])
         .collect()
 }
 
@@ -87,6 +107,20 @@ pub fn output_cone_sizes(nl: &Netlist) -> Vec<usize> {
         .iter()
         .map(|&o| fanin_cone(nl, o).len())
         .collect()
+}
+
+/// The fan-out cone of key bit `bit`, from the cached [`KeyAnalysis`]
+/// (sorted gate ids; empty for out-of-range bits).
+///
+/// [`KeyAnalysis`]: crate::analysis::KeyAnalysis
+pub fn key_cone(nl: &Netlist, bit: usize) -> Vec<GateId> {
+    nl.key_analysis().cone(bit).to_vec()
+}
+
+/// Output indices (positions in [`Netlist::outputs`]) whose structural
+/// support contains any of the given key-bit indices. Sorted, deduped.
+pub fn dirty_outputs(nl: &Netlist, changed_bits: &[usize]) -> Vec<usize> {
+    nl.key_analysis().dirty_outputs(changed_bits)
 }
 
 #[cfg(test)]
@@ -130,6 +164,20 @@ mod tests {
     }
 
     #[test]
+    fn cones_are_sorted_and_deduped() {
+        let nl = c17();
+        for (_, netname) in [("a", "G11"), ("b", "G16")] {
+            let id = nl.net_id(netname).unwrap();
+            for cone in [fanout_cone(&nl, id), fanin_cone(&nl, id)] {
+                let mut sorted = cone.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(cone, sorted);
+            }
+        }
+    }
+
+    #[test]
     fn reachable_outputs_from_inner_gate() {
         let nl = c17();
         let g11 = nl.net_id("G11").unwrap();
@@ -151,5 +199,26 @@ mod tests {
         let g1 = nl.net_id("G1").unwrap();
         assert!(fanin_cone(&nl, g1).is_empty());
         assert_eq!(input_support(&nl, g1).len(), 1);
+    }
+
+    #[test]
+    fn key_cone_matches_fanout_cone() {
+        let mut nl = c17();
+        // Retrofit a key input feeding G10's gate.
+        let k = nl.add_key_input("k0").unwrap();
+        let g10 = nl.net_id("G10").unwrap();
+        let driver = nl.net(g10).driver().unwrap();
+        let inputs = nl.gate(driver).inputs().to_vec();
+        nl.remove_gate(driver);
+        let kn = nl.add_net("g10_keyed").unwrap();
+        nl.add_gate(crate::gate::GateKind::Nand, &inputs, kn)
+            .unwrap();
+        let masked = nl.add_net("g10_mask").unwrap();
+        nl.add_gate(crate::gate::GateKind::Xor, &[kn, k], masked)
+            .unwrap();
+        nl.redirect_consumers(g10, masked);
+        assert_eq!(key_cone(&nl, 0), fanout_cone(&nl, k));
+        assert!(!dirty_outputs(&nl, &[0]).is_empty());
+        assert!(dirty_outputs(&nl, &[]).is_empty());
     }
 }

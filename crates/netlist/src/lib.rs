@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod bench;
 pub mod cone;
 pub mod gate;
@@ -38,6 +39,7 @@ pub mod opt;
 pub mod sim;
 pub mod verilog;
 
+pub use analysis::{AnalysisCache, FanoutTable, KeyAnalysis, LevelMap};
 pub use bench::{parse_bench, write_bench, ParseBenchError};
 pub use gate::GateKind;
 pub use netlist::{Gate, GateId, Net, NetId, Netlist, NetlistError, NetlistStats};

@@ -6,10 +6,14 @@
 //! ordinary primary inputs carrying an extra flag, kept in a stable order so
 //! attack code can index key bits deterministically.
 
+#![deny(clippy::iter_over_hash_type)]
+
+use crate::analysis::{AnalysisCache, FanoutTable, KeyAnalysis, LevelMap};
 use crate::gate::GateKind;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a net within one [`Netlist`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -206,6 +210,8 @@ pub struct Netlist {
     key_inputs: Vec<NetId>,
     names: HashMap<String, NetId>,
     fresh_counter: u64,
+    generation: u64,
+    cache: AnalysisCache,
 }
 
 impl Netlist {
@@ -220,7 +226,21 @@ impl Netlist {
             key_inputs: Vec::new(),
             names: HashMap::new(),
             fresh_counter: 0,
+            generation: 0,
+            cache: AnalysisCache::default(),
         }
+    }
+
+    /// The structural generation counter: bumped by every mutating edit, so
+    /// holders of derived artifacts (SAT encodings, compiled simulators,
+    /// attack miters) can detect staleness with one integer compare.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The embedded analysis cache (diagnostic / test hook).
+    pub fn analysis(&self) -> &AnalysisCache {
+        &self.cache
     }
 
     /// The design name.
@@ -246,6 +266,8 @@ impl Netlist {
         let id = NetId(self.nets.len() as u32);
         self.names.insert(name.clone(), id);
         self.nets.push(Net { name, driver: None });
+        self.generation += 1;
+        self.cache.note_net_added();
         Ok(id)
     }
 
@@ -269,6 +291,8 @@ impl Netlist {
     pub fn add_input(&mut self, name: impl Into<String>) -> Result<NetId, NetlistError> {
         let id = self.add_net(name)?;
         self.inputs.push(id);
+        self.generation += 1;
+        self.cache.note_input_added();
         Ok(id)
     }
 
@@ -281,6 +305,8 @@ impl Netlist {
     pub fn add_key_input(&mut self, name: impl Into<String>) -> Result<NetId, NetlistError> {
         let id = self.add_input(name)?;
         self.key_inputs.push(id);
+        self.generation += 1;
+        self.cache.note_key_input_added();
         Ok(id)
     }
 
@@ -289,6 +315,8 @@ impl Netlist {
     pub fn mark_output(&mut self, net: NetId) {
         if !self.outputs.contains(&net) {
             self.outputs.push(net);
+            self.generation += 1;
+            self.cache.note_output_marked();
         }
     }
 
@@ -323,6 +351,8 @@ impl Netlist {
             output,
         }));
         self.nets[output.index()].driver = Some(id);
+        self.generation += 1;
+        self.cache.note_gate_added(id, inputs);
         Ok(id)
     }
 
@@ -441,6 +471,8 @@ impl Netlist {
     pub fn remove_gate(&mut self, id: GateId) -> Gate {
         let gate = self.gates[id.index()].take().expect("gate already removed");
         self.nets[gate.output.index()].driver = None;
+        self.generation += 1;
+        self.cache.note_gate_removed(id, &gate.inputs);
         gate
     }
 
@@ -459,6 +491,10 @@ impl Netlist {
                 changed += 1;
             }
         }
+        if changed > 0 {
+            self.generation += 1;
+            self.cache.note_fanin_moved(id, old, new, changed);
+        }
         changed
     }
 
@@ -467,19 +503,34 @@ impl Netlist {
     /// of redirected references.
     pub fn redirect_consumers(&mut self, old: NetId, new: NetId) -> usize {
         let mut changed = 0;
-        for gate in self.gates.iter_mut().flatten() {
+        for (i, gate) in self.gates.iter_mut().enumerate() {
+            let Some(gate) = gate else { continue };
+            let mut moved = 0;
             for inp in &mut gate.inputs {
                 if *inp == old {
                     *inp = new;
-                    changed += 1;
+                    moved += 1;
                 }
             }
+            if moved > 0 {
+                self.cache
+                    .note_fanin_moved(GateId(i as u32), old, new, moved);
+                changed += moved;
+            }
         }
+        let mut outputs_moved = false;
         for out in &mut self.outputs {
             if *out == old {
                 *out = new;
                 changed += 1;
+                outputs_moved = true;
             }
+        }
+        if outputs_moved {
+            self.cache.note_output_marked();
+        }
+        if changed > 0 {
+            self.generation += 1;
         }
         changed
     }
@@ -504,18 +555,25 @@ impl Netlist {
             });
         }
         gate.kind = kind;
+        self.generation += 1;
+        self.cache.note_kind_changed();
         Ok(())
     }
 
-    /// Builds the net → consuming-gates map.
+    /// The cached net → consuming-gates table, built on first use and
+    /// maintained incrementally across edits (cheap `Arc` clone afterwards).
+    pub fn fanout(&self) -> Arc<FanoutTable> {
+        self.cache.fanout(self)
+    }
+
+    /// Builds the net → consuming-gates map as plain vectors (compatibility
+    /// view of [`Netlist::fanout`]; prefer the cached table for repeated
+    /// queries).
     pub fn fanout_map(&self) -> Vec<Vec<GateId>> {
-        let mut map = vec![Vec::new(); self.nets.len()];
-        for (id, gate) in self.gates() {
-            for &inp in gate.inputs() {
-                map[inp.index()].push(id);
-            }
-        }
-        map
+        let table = self.fanout();
+        (0..self.nets.len())
+            .map(|i| table.consumers(NetId(i as u32)).to_vec())
+            .collect()
     }
 
     /// Computes a topological order of the live gates (inputs before
@@ -523,45 +581,51 @@ impl Netlist {
     /// sequential loop reports a cycle; convert with
     /// [`Netlist::to_combinational`] first for sequential designs.
     ///
+    /// The order is cached; repeated calls between edits are O(gates) copies.
+    ///
     /// # Errors
     ///
     /// Returns [`NetlistError::CombinationalCycle`] naming a net on a cycle.
     pub fn topo_order(&self) -> Result<Vec<GateId>, NetlistError> {
-        let mut indegree: HashMap<GateId, usize> = HashMap::new();
-        let fanout = self.fanout_map();
-        let mut ready: Vec<GateId> = Vec::new();
-        for (id, gate) in self.gates() {
-            let deps = gate
-                .inputs()
-                .iter()
-                .filter(|n| self.nets[n.index()].driver.is_some())
-                .count();
-            indegree.insert(id, deps);
-            if deps == 0 {
-                ready.push(id);
-            }
-        }
-        let mut order = Vec::with_capacity(indegree.len());
-        while let Some(id) = ready.pop() {
-            order.push(id);
-            let out = self.gate(id).output();
-            for &consumer in &fanout[out.index()] {
-                let d = indegree.get_mut(&consumer).expect("consumer is live");
-                *d -= 1;
-                if *d == 0 {
-                    ready.push(consumer);
-                }
-            }
-        }
-        if order.len() != indegree.len() {
-            let stuck = indegree
-                .iter()
-                .find(|(id, _)| !order.contains(id))
-                .map(|(id, _)| self.nets[self.gate(*id).output().index()].name.clone())
-                .unwrap_or_default();
-            return Err(NetlistError::CombinationalCycle(stuck));
-        }
-        Ok(order)
+        self.cache.topo(self).map(|o| o.as_ref().clone())
+    }
+
+    /// Like [`Netlist::topo_order`] but returns the shared cached order
+    /// without copying.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] naming a net on a cycle.
+    pub fn topo_order_shared(&self) -> Result<Arc<Vec<GateId>>, NetlistError> {
+        self.cache.topo(self)
+    }
+
+    /// The cached per-net combinational levels (and overall depth).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the netlist is cyclic.
+    pub fn levels(&self) -> Result<Arc<LevelMap>, NetlistError> {
+        self.cache.levels(self)
+    }
+
+    /// A name-based structural hash, invariant under gate/arena reordering
+    /// but sensitive to connectivity, gate functions, and port order. Cached
+    /// between edits. The design name is excluded.
+    pub fn structural_hash(&self) -> u64 {
+        self.cache.structural_hash(self)
+    }
+
+    /// The cached key-bit structural analysis: per-bit fan-out cones and the
+    /// output → key-bit support map driving incremental post-morph checks.
+    pub fn key_analysis(&self) -> Arc<KeyAnalysis> {
+        self.cache.keys(self)
+    }
+
+    /// Length of the gate arena including removed slots (for dense
+    /// id-indexed scratch tables).
+    pub(crate) fn gate_arena_len(&self) -> usize {
+        self.gates.len()
     }
 
     /// Validates structural invariants: legal arities, single drivers, every
@@ -617,6 +681,8 @@ impl Netlist {
             let d = gate.inputs()[0];
             if !self.inputs.contains(&q) {
                 self.inputs.push(q);
+                self.generation += 1;
+                self.cache.note_input_added();
             }
             self.mark_output(d);
         }
@@ -629,27 +695,12 @@ impl Netlist {
     ///
     /// Returns [`NetlistError::CombinationalCycle`] if the netlist is cyclic.
     pub fn depth(&self) -> Result<usize, NetlistError> {
-        let order = self.topo_order()?;
-        let mut level: HashMap<NetId, usize> = HashMap::new();
-        let mut max = 0;
-        for id in order {
-            let gate = self.gate(id);
-            let lvl = gate
-                .inputs()
-                .iter()
-                .map(|n| level.get(n).copied().unwrap_or(0))
-                .max()
-                .unwrap_or(0)
-                + 1;
-            level.insert(gate.output(), lvl);
-            max = max.max(lvl);
-        }
-        Ok(max)
+        Ok(self.levels()?.depth())
     }
 
     /// Computes summary statistics.
     pub fn stats(&self) -> NetlistStats {
-        let mut by_kind: HashMap<String, usize> = HashMap::new();
+        let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
         let mut dffs = 0;
         for (_, gate) in self.gates() {
             *by_kind
@@ -659,8 +710,7 @@ impl Netlist {
                 dffs += 1;
             }
         }
-        let mut by_kind: Vec<(String, usize)> = by_kind.into_iter().collect();
-        by_kind.sort();
+        let by_kind: Vec<(String, usize)> = by_kind.into_iter().collect();
         NetlistStats {
             gates: self.gate_count(),
             nets: self.net_count(),

@@ -16,7 +16,6 @@ use rand::Rng;
 use ril_netlist::cone::fanout_cone;
 use ril_netlist::gate::truth_table_of;
 use ril_netlist::{GateId, Netlist};
-use std::collections::HashSet;
 
 /// Gate-selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -72,7 +71,7 @@ pub fn select_gates<R: Rng>(
     }
 
     let mut accepted: Vec<GateId> = Vec::with_capacity(count);
-    let mut accepted_cones: Vec<HashSet<GateId>> = Vec::with_capacity(count);
+    let mut accepted_cones: Vec<Vec<GateId>> = Vec::with_capacity(count);
     for cand in candidates {
         if accepted.len() == count {
             break;

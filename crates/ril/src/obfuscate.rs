@@ -3,6 +3,7 @@
 use crate::block::{insert_block, BlockMeta, ObfuscateError, RilBlockSpec};
 use crate::insertion::{select_gates, InsertionPolicy};
 use crate::key::KeyStore;
+use crate::morph::MorphDelta;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ril_netlist::{Netlist, Simulator};
@@ -220,6 +221,13 @@ impl LockedCircuit {
         &self,
         timeout: Option<std::time::Duration>,
     ) -> Result<ril_sat::EquivSession, ril_sat::EquivError> {
+        ril_sat::EquivSession::new(&self.original, &self.netlist, &self.equiv_options(timeout))
+    }
+
+    /// The miter options shared by the eager and incremental verifiers:
+    /// key inputs free (ignored on the original side), `SE` pinned to
+    /// functional mode.
+    fn equiv_options(&self, timeout: Option<std::time::Duration>) -> ril_sat::EquivOptions {
         let mut ignore: Vec<String> = self
             .netlist
             .key_inputs()
@@ -231,13 +239,38 @@ impl LockedCircuit {
             fixed.push((SE_PIN.to_string(), false));
         }
         ignore.extend(fixed.iter().map(|(n, _)| n.clone()));
-        let options = ril_sat::EquivOptions {
+        ril_sat::EquivOptions {
             timeout,
             ignore_inputs: ignore,
             fixed_inputs: fixed,
             ..ril_sat::EquivOptions::default()
-        };
-        ril_sat::EquivSession::new(&self.original, &self.netlist, &options)
+        }
+    }
+
+    /// Builds an *incremental* post-morph verifier: the miter ports are
+    /// matched once, but output cones are only encoded into the live SAT
+    /// session when a check first touches them. After a morph,
+    /// [`MorphVerifier::verify_after`] re-checks only the outputs whose
+    /// cones read a changed key bit (per [`crate::morph::MorphDelta`] and
+    /// the netlist's cached key analysis) — sound because a morph changes
+    /// key *values* only, so an output whose cone reads no changed bit
+    /// computes the same function it did when last verified.
+    ///
+    /// # Errors
+    ///
+    /// Propagates equivalence-checking errors (port mismatches cannot
+    /// occur for circuits produced by [`Obfuscator`]).
+    pub fn incremental_verifier(
+        &self,
+        timeout: Option<std::time::Duration>,
+    ) -> Result<MorphVerifier, ril_sat::EquivError> {
+        MorphVerifier::new(self, timeout)
+    }
+
+    /// Output indices of the locked netlist whose logic changed under
+    /// `delta` — convenience over [`crate::morph::MorphDelta::dirty_outputs`].
+    pub fn dirty_outputs(&self, delta: &crate::morph::MorphDelta) -> Vec<usize> {
+        delta.dirty_outputs(&self.netlist)
     }
 
     /// The `(key input name, value)` pin list for a candidate key, in the
@@ -266,6 +299,185 @@ impl LockedCircuit {
     /// Key width.
     pub fn key_width(&self) -> usize {
         self.keys.len()
+    }
+}
+
+/// Incremental post-morph formal verifier (built by
+/// [`LockedCircuit::incremental_verifier`]).
+///
+/// Wraps a [`ril_sat::IncrementalEquivSession`] — a lazily-encoded
+/// `original` vs `locked` miter over one live incremental SAT session —
+/// together with the locked design's cached key analysis, so a
+/// [`MorphDelta`] maps directly to the subset of outputs whose cones must
+/// be re-checked. Clean outputs keep their previous verdict: a morph only
+/// changes key *values*, and an output whose cone reads no changed bit
+/// still computes the function that was last certified.
+#[derive(Debug)]
+pub struct MorphVerifier {
+    session: ril_sat::IncrementalEquivSession,
+    /// Locked-netlist output index → miter output index. Miter pairs
+    /// follow the *original* netlist's output order; for circuits from
+    /// [`Obfuscator`] the map is the identity, but it is derived by name
+    /// so netlists with reordered outputs stay correct.
+    out_map: Vec<usize>,
+    keys: std::sync::Arc<ril_netlist::KeyAnalysis>,
+    key_names: Vec<String>,
+}
+
+impl MorphVerifier {
+    /// Matches the miter ports of `locked.original` vs `locked.netlist`
+    /// (key inputs free, `SE` pinned to 0) without encoding any gate
+    /// cones, and snapshots the locked netlist's key analysis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates port-matching errors (cannot occur for circuits
+    /// produced by [`Obfuscator`]).
+    pub fn new(
+        locked: &LockedCircuit,
+        timeout: Option<std::time::Duration>,
+    ) -> Result<MorphVerifier, ril_sat::EquivError> {
+        let session = ril_sat::IncrementalEquivSession::new(
+            &locked.original,
+            &locked.netlist,
+            &locked.equiv_options(timeout),
+        )?;
+        let left_pos: std::collections::HashMap<&str, usize> = locked
+            .original
+            .outputs()
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| (locked.original.net(o).name(), i))
+            .collect();
+        let out_map = locked
+            .netlist
+            .outputs()
+            .iter()
+            .map(|&o| {
+                let name = locked.netlist.net(o).name();
+                *left_pos
+                    .get(name)
+                    .expect("port match above pairs every output by name")
+            })
+            .collect();
+        Ok(MorphVerifier {
+            session,
+            out_map,
+            keys: locked.netlist.key_analysis(),
+            key_names: locked
+                .netlist
+                .key_inputs()
+                .iter()
+                .map(|&n| locked.netlist.net(n).name().to_string())
+                .collect(),
+        })
+    }
+
+    fn assignment(&self, key: &[bool]) -> Vec<(String, bool)> {
+        assert_eq!(key.len(), self.key_names.len(), "key width mismatch");
+        self.key_names
+            .iter()
+            .cloned()
+            .zip(key.iter().copied())
+            .collect()
+    }
+
+    /// Full formal check of `key` over every output (encodes all cones on
+    /// first use). Call once after construction to certify the baseline
+    /// the incremental checks then extend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors (sequential cones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` differs from the key width.
+    pub fn verify(&mut self, key: &[bool]) -> Result<ril_sat::EquivResult, ril_sat::EquivError> {
+        let assignment = self.assignment(key);
+        self.session.check_with(&assignment)
+    }
+
+    /// Post-morph check: verifies `key` only on the outputs whose cones
+    /// read a key bit changed by `delta`. An empty dirty set is vacuously
+    /// [`ril_sat::EquivResult::Equivalent`] without touching the solver.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors (sequential cones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` differs from the key width.
+    pub fn verify_after(
+        &mut self,
+        delta: &MorphDelta,
+        key: &[bool],
+    ) -> Result<ril_sat::EquivResult, ril_sat::EquivError> {
+        let dirty: Vec<usize> = self
+            .keys
+            .dirty_outputs(delta.changed_bits())
+            .into_iter()
+            .map(|o| self.out_map[o])
+            .collect();
+        let assignment = self.assignment(key);
+        self.session.check_outputs(&dirty, &assignment)
+    }
+
+    /// Checks `key` on an explicit output subset (locked-netlist output
+    /// indices).
+    ///
+    /// # Errors
+    ///
+    /// Returns a port error for out-of-range indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` differs from the key width.
+    pub fn verify_outputs(
+        &mut self,
+        outputs: &[usize],
+        key: &[bool],
+    ) -> Result<ril_sat::EquivResult, ril_sat::EquivError> {
+        let mapped: Vec<usize> = outputs
+            .iter()
+            .map(|&o| {
+                self.out_map.get(o).copied().ok_or_else(|| {
+                    ril_sat::EquivError::PortMismatch(format!(
+                        "output index {o} out of range ({} outputs)",
+                        self.out_map.len()
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let assignment = self.assignment(key);
+        self.session.check_outputs(&mapped, &assignment)
+    }
+
+    /// Number of matched output pairs.
+    pub fn outputs(&self) -> usize {
+        self.session.outputs()
+    }
+
+    /// Output pairs whose cones have been encoded into the live session.
+    pub fn encoded_outputs(&self) -> usize {
+        self.session.encoded_outputs()
+    }
+
+    /// Number of solver queries answered (vacuous empty-set checks are
+    /// free and not counted).
+    pub fn checks(&self) -> usize {
+        self.session.checks()
+    }
+
+    /// Cumulative solver statistics.
+    pub fn stats(&self) -> ril_sat::SolverStats {
+        self.session.stats()
+    }
+
+    /// Updates the per-check wall-clock budget.
+    pub fn set_timeout(&mut self, timeout: Option<std::time::Duration>) {
+        self.session.set_timeout(timeout);
     }
 }
 
@@ -416,6 +628,62 @@ mod tests {
         }
         // One miter encoding answered every query.
         assert_eq!(verifier.checks(), 4);
+    }
+
+    #[test]
+    fn incremental_verifier_tracks_morphs_lazily() {
+        let host = generators::multiplier(6);
+        let mut locked = Obfuscator::new(RilBlockSpec::size_2x2())
+            .blocks(2)
+            .scan_obfuscation(true)
+            .seed(8)
+            .obfuscate(&host)
+            .unwrap();
+        let timeout = Some(std::time::Duration::from_secs(30));
+        let mut verifier = locked.incremental_verifier(timeout).unwrap();
+        assert_eq!(
+            verifier.encoded_outputs(),
+            0,
+            "construction encodes no cones"
+        );
+        // Baseline: full check under the correct key.
+        assert_eq!(
+            verifier.verify(locked.keys.bits()).unwrap(),
+            ril_sat::EquivResult::Equivalent
+        );
+        assert_eq!(verifier.encoded_outputs(), verifier.outputs());
+        // Morph rounds: only dirty cones are re-checked, verdicts agree
+        // with the eager full-miter verifier.
+        let mut eager = locked.formal_verifier(timeout).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for round in 0..3 {
+            let (_, delta) = crate::morph::morph_all_delta(&mut locked, &mut rng);
+            let bits = locked.keys.bits().to_vec();
+            let fast = verifier.verify_after(&delta, &bits).unwrap();
+            let full = eager.check_with(&locked.key_assignment(&bits)).unwrap();
+            assert_eq!(fast, full, "round {round} verdicts diverge");
+            assert_eq!(fast, ril_sat::EquivResult::Equivalent);
+        }
+        // A wrong key on a dirty cone must still be caught incrementally.
+        let lut_bits = locked
+            .keys
+            .indices_where(|k| matches!(k, crate::key::KeyBitKind::LutConfig { .. }));
+        let mut wrong = locked.keys.bits().to_vec();
+        wrong[lut_bits[0]] = !wrong[lut_bits[0]];
+        let delta = crate::morph::MorphDelta::between(locked.keys.bits(), &wrong);
+        assert!(matches!(
+            verifier.verify_after(&delta, &wrong).unwrap(),
+            ril_sat::EquivResult::Inequivalent { .. }
+        ));
+        // Empty delta: vacuous pass, no extra solver query.
+        let checks = verifier.checks();
+        assert_eq!(
+            verifier
+                .verify_after(&crate::morph::MorphDelta::default(), locked.keys.bits())
+                .unwrap(),
+            ril_sat::EquivResult::Equivalent
+        );
+        assert_eq!(verifier.checks(), checks);
     }
 
     #[test]

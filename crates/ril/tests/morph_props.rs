@@ -6,8 +6,10 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use ril_core::{morph_all, LockedCircuit, MorphReport, Obfuscator, RilBlockSpec};
+use rand::{Rng, SeedableRng};
+use ril_core::{
+    morph_all, morph_all_delta, LockedCircuit, MorphDelta, MorphReport, Obfuscator, RilBlockSpec,
+};
 use ril_netlist::generators;
 use ril_sat::EquivResult;
 use std::time::Duration;
@@ -105,5 +107,71 @@ proptest! {
         // Three rounds of coin flips over ≥4 LUT pair-swap candidates:
         // at least one round must land a move, or the generator is broken.
         prop_assert!(applied > 0, "no morph round ever applied a move");
+    }
+
+    /// Incremental post-morph verification (dirty cones only, one live
+    /// solver) must reach the same verdict as a scratch full-miter check
+    /// on every round of a random morph sequence — for both the correct
+    /// morphed key and a perturbed (usually wrong) candidate.
+    #[test]
+    fn incremental_verifier_agrees_with_scratch(seed in 0u64..500, blocks in 1usize..3) {
+        let Some(mut locked) = random_locked(
+            RilBlockSpec::size_2x2().with_scan(true), blocks, seed,
+        ) else {
+            return;
+        };
+        let timeout = Some(Duration::from_secs(20));
+        let mut inc = locked
+            .incremental_verifier(timeout)
+            .expect("combinational miter");
+        // Baseline full check, then only dirty cones per round.
+        prop_assert_eq!(
+            inc.verify(locked.keys.bits()).expect("known ports"),
+            EquivResult::Equivalent
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1235_DE17);
+        let mut pending = MorphDelta::default();
+        for round in 0..4 {
+            let (_, delta) = morph_all_delta(&mut locked, &mut rng);
+            // Half the rounds batch two deltas before re-checking, the
+            // way a deployment re-verifies on a cadence, not per-morph.
+            pending.merge(&delta);
+            if round % 2 == 0 {
+                continue;
+            }
+            let delta = std::mem::take(&mut pending);
+            let bits = locked.keys.bits().to_vec();
+            let fast = inc.verify_after(&delta, &bits).expect("known ports");
+            let scratch = locked
+                .verify_formal(&bits, timeout)
+                .expect("known ports");
+            prop_assert_eq!(&fast, &scratch, "round {}: verdicts diverge", round);
+            prop_assert_eq!(&fast, &EquivResult::Equivalent, "round {}", round);
+
+            // Perturb one key bit: both checkers must again agree (the
+            // flipped cone is part of the re-checked dirty set by
+            // construction of the delta).
+            let flip = rng.gen_range(0..bits.len());
+            let mut cand = bits.clone();
+            cand[flip] = !cand[flip];
+            let cand_delta = MorphDelta::between(&bits, &cand);
+            let fast = inc.verify_after(&cand_delta, &cand).expect("known ports");
+            let scratch = locked
+                .verify_formal(&cand, timeout)
+                .expect("known ports");
+            // Verdict *kinds* must agree; concrete counterexamples may
+            // legitimately differ between solver states.
+            let agree = matches!(
+                (&fast, &scratch),
+                (EquivResult::Equivalent, EquivResult::Equivalent)
+                    | (EquivResult::Inequivalent { .. }, EquivResult::Inequivalent { .. })
+                    | (EquivResult::Unknown, EquivResult::Unknown)
+            );
+            prop_assert!(
+                agree,
+                "round {}: candidate verdicts diverge ({:?} vs {:?})",
+                round, fast, scratch
+            );
+        }
     }
 }

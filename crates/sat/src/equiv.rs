@@ -10,9 +10,10 @@ use crate::cnf::Cnf;
 use crate::lit::{Lit, Var};
 use crate::session::Session;
 use crate::solver::{Budget, Outcome, SolverConfig, SolverStats};
-use crate::tseitin::{encode_netlist_into, TseitinError};
-use ril_netlist::{NetId, Netlist};
-use std::collections::HashMap;
+use crate::tseitin::{encode_netlist_into, encode_selected, TseitinError};
+use ril_netlist::cone::fanin_cone;
+use ril_netlist::{GateId, NetId, Netlist};
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 use std::time::Duration;
@@ -76,6 +77,156 @@ pub struct EquivOptions {
     /// matching lets such circuits still be checked. Output *counts* must
     /// agree.
     pub match_outputs_by_position: bool,
+}
+
+/// Result of matching two netlists' ports into a shared CNF variable pool:
+/// the common substrate of [`EquivSession`] and
+/// [`IncrementalEquivSession`].
+struct MiterPorts {
+    out_pairs: Vec<(NetId, NetId)>,
+    shared_vars: Vec<Var>,
+    input_vars: HashMap<String, Var>,
+    pins_left: HashMap<NetId, Var>,
+    pins_right: HashMap<NetId, Var>,
+    base_assumptions: Vec<Lit>,
+}
+
+/// Matches outputs (by name, or by position on request) and inputs (by
+/// name) of `left` vs `right`, allocating one CNF input variable per port
+/// name. Inputs present on only one side must be ignored or fixed by
+/// `options`.
+fn match_ports(
+    cnf: &mut Cnf,
+    left: &Netlist,
+    right: &Netlist,
+    options: &EquivOptions,
+) -> Result<MiterPorts, EquivError> {
+    // --- Match outputs (by name, or by position on request) --------------
+    let out_pairs: Vec<(NetId, NetId)> = if options.match_outputs_by_position {
+        if left.outputs().len() != right.outputs().len() {
+            return Err(EquivError::PortMismatch(format!(
+                "output counts differ: {} vs {}",
+                left.outputs().len(),
+                right.outputs().len()
+            )));
+        }
+        left.outputs()
+            .iter()
+            .copied()
+            .zip(right.outputs().iter().copied())
+            .collect()
+    } else {
+        let mut right_outputs: HashMap<&str, NetId> = right
+            .outputs()
+            .iter()
+            .map(|&o| (right.net(o).name(), o))
+            .collect();
+        let mut pairs: Vec<(NetId, NetId)> = Vec::new();
+        for &o in left.outputs() {
+            let name = left.net(o).name();
+            match right_outputs.remove(name) {
+                Some(ro) => pairs.push((o, ro)),
+                None => {
+                    return Err(EquivError::PortMismatch(format!(
+                        "output `{name}` missing on the right"
+                    )))
+                }
+            }
+        }
+        if let Some((name, _)) = right_outputs.into_iter().next() {
+            return Err(EquivError::PortMismatch(format!(
+                "output `{name}` missing on the left"
+            )));
+        }
+        pairs
+    };
+
+    // --- Match inputs by name --------------------------------------------
+    let fixed: HashMap<&str, bool> = options
+        .fixed_inputs
+        .iter()
+        .map(|(n, v)| (n.as_str(), *v))
+        .collect();
+    let ignored: Vec<&str> = options.ignore_inputs.iter().map(String::as_str).collect();
+    let mut shared_vars: Vec<Var> = Vec::new();
+    let mut input_vars: HashMap<String, Var> = HashMap::new();
+    let mut pins_left: HashMap<NetId, Var> = HashMap::new();
+    let mut pins_right: HashMap<NetId, Var> = HashMap::new();
+    let right_inputs: HashMap<&str, NetId> = right
+        .inputs()
+        .iter()
+        .map(|&i| (right.net(i).name(), i))
+        .collect();
+
+    let mut base_assumptions: Vec<Lit> = Vec::new();
+    for &li in left.inputs() {
+        let name = left.net(li).name().to_string();
+        let var = cnf.new_var();
+        pins_left.insert(li, var);
+        if let Some(&ri) = right_inputs.get(name.as_str()) {
+            pins_right.insert(ri, var);
+            shared_vars.push(var);
+        } else if !ignored.contains(&name.as_str()) && !fixed.contains_key(name.as_str()) {
+            return Err(EquivError::PortMismatch(format!(
+                "input `{name}` missing on the right (ignore or fix it)"
+            )));
+        }
+        if let Some(&v) = fixed.get(name.as_str()) {
+            base_assumptions.push(var.lit(!v));
+        }
+        input_vars.insert(name, var);
+    }
+    for &ri in right.inputs() {
+        let name = right.net(ri).name();
+        if pins_right.contains_key(&ri) {
+            continue;
+        }
+        let var = cnf.new_var();
+        pins_right.insert(ri, var);
+        if let Some(&v) = fixed.get(name) {
+            base_assumptions.push(var.lit(!v));
+        } else if !ignored.contains(&name) {
+            return Err(EquivError::PortMismatch(format!(
+                "input `{name}` missing on the left (ignore or fix it)"
+            )));
+        }
+        input_vars.insert(name.to_string(), var);
+    }
+
+    Ok(MiterPorts {
+        out_pairs,
+        shared_vars,
+        input_vars,
+        pins_left,
+        pins_right,
+        base_assumptions,
+    })
+}
+
+/// Builds the assumption vector for one query: `head`, then every base
+/// assumption not overridden by `fixed`, then the per-call pins.
+fn layered_assumptions(
+    head: &[Lit],
+    base: &[Lit],
+    input_vars: &HashMap<String, Var>,
+    fixed: &[(String, bool)],
+) -> Result<Vec<Lit>, EquivError> {
+    let mut assumptions: Vec<Lit> = head.to_vec();
+    for l in base {
+        let keep = !fixed
+            .iter()
+            .any(|(n, _)| input_vars.get(n) == Some(&l.var()));
+        if keep {
+            assumptions.push(*l);
+        }
+    }
+    for (name, value) in fixed {
+        let var = input_vars.get(name).ok_or_else(|| {
+            EquivError::PortMismatch(format!("input `{name}` not present in the miter"))
+        })?;
+        assumptions.push(var.lit(!*value));
+    }
+    Ok(assumptions)
 }
 
 /// A miter encoded once into a persistent [`Session`], for *repeated*
@@ -154,101 +305,18 @@ impl EquivSession {
         right: &Netlist,
         options: &EquivOptions,
     ) -> Result<EquivSession, EquivError> {
-        // --- Match outputs (by name, or by position on request) ----------
-        let out_pairs: Vec<(NetId, NetId)> = if options.match_outputs_by_position {
-            if left.outputs().len() != right.outputs().len() {
-                return Err(EquivError::PortMismatch(format!(
-                    "output counts differ: {} vs {}",
-                    left.outputs().len(),
-                    right.outputs().len()
-                )));
-            }
-            left.outputs()
-                .iter()
-                .copied()
-                .zip(right.outputs().iter().copied())
-                .collect()
-        } else {
-            let mut right_outputs: HashMap<&str, NetId> = right
-                .outputs()
-                .iter()
-                .map(|&o| (right.net(o).name(), o))
-                .collect();
-            let mut pairs: Vec<(NetId, NetId)> = Vec::new();
-            for &o in left.outputs() {
-                let name = left.net(o).name();
-                match right_outputs.remove(name) {
-                    Some(ro) => pairs.push((o, ro)),
-                    None => {
-                        return Err(EquivError::PortMismatch(format!(
-                            "output `{name}` missing on the right"
-                        )))
-                    }
-                }
-            }
-            if let Some((name, _)) = right_outputs.into_iter().next() {
-                return Err(EquivError::PortMismatch(format!(
-                    "output `{name}` missing on the left"
-                )));
-            }
-            pairs
-        };
-
-        // --- Match inputs by name ----------------------------------------
-        let fixed: HashMap<&str, bool> = options
-            .fixed_inputs
-            .iter()
-            .map(|(n, v)| (n.as_str(), *v))
-            .collect();
-        let ignored: Vec<&str> = options.ignore_inputs.iter().map(String::as_str).collect();
         // Encode into a scratch CNF whose variable pool continues the
         // session's (so clauses transfer verbatim).
         let mut cnf = Cnf::new();
         cnf.reserve_vars(session.num_vars());
-        let mut shared_vars: Vec<Var> = Vec::new();
-        let mut input_vars: HashMap<String, Var> = HashMap::new();
-        let mut pins_left: HashMap<NetId, Var> = HashMap::new();
-        let mut pins_right: HashMap<NetId, Var> = HashMap::new();
-        let right_inputs: HashMap<&str, NetId> = right
-            .inputs()
-            .iter()
-            .map(|&i| (right.net(i).name(), i))
-            .collect();
-
-        let mut base_assumptions: Vec<Lit> = Vec::new();
-        for &li in left.inputs() {
-            let name = left.net(li).name().to_string();
-            let var = cnf.new_var();
-            pins_left.insert(li, var);
-            if let Some(&ri) = right_inputs.get(name.as_str()) {
-                pins_right.insert(ri, var);
-                shared_vars.push(var);
-            } else if !ignored.contains(&name.as_str()) && !fixed.contains_key(name.as_str()) {
-                return Err(EquivError::PortMismatch(format!(
-                    "input `{name}` missing on the right (ignore or fix it)"
-                )));
-            }
-            if let Some(&v) = fixed.get(name.as_str()) {
-                base_assumptions.push(var.lit(!v));
-            }
-            input_vars.insert(name, var);
-        }
-        for &ri in right.inputs() {
-            let name = right.net(ri).name();
-            if pins_right.contains_key(&ri) {
-                continue;
-            }
-            let var = cnf.new_var();
-            pins_right.insert(ri, var);
-            if let Some(&v) = fixed.get(name) {
-                base_assumptions.push(var.lit(!v));
-            } else if !ignored.contains(&name) {
-                return Err(EquivError::PortMismatch(format!(
-                    "input `{name}` missing on the left (ignore or fix it)"
-                )));
-            }
-            input_vars.insert(name.to_string(), var);
-        }
+        let MiterPorts {
+            out_pairs,
+            shared_vars,
+            input_vars,
+            pins_left,
+            pins_right,
+            base_assumptions,
+        } = match_ports(&mut cnf, left, right, options)?;
 
         // --- Miter -------------------------------------------------------
         let vars_l = encode_netlist_into(left, &mut cnf, &pins_left)?;
@@ -302,22 +370,8 @@ impl EquivSession {
     ///
     /// Returns [`EquivError::PortMismatch`] if a name matches no input.
     pub fn check_with(&mut self, fixed: &[(String, bool)]) -> Result<EquivResult, EquivError> {
-        let mut assumptions = vec![self.act];
-        for l in &self.base_assumptions {
-            // Keep base assumptions not overridden this call.
-            let keep = !fixed
-                .iter()
-                .any(|(n, _)| self.input_vars.get(n) == Some(&l.var()));
-            if keep {
-                assumptions.push(*l);
-            }
-        }
-        for (name, value) in fixed {
-            let var = self.input_vars.get(name).ok_or_else(|| {
-                EquivError::PortMismatch(format!("input `{name}` not present in the miter"))
-            })?;
-            assumptions.push(var.lit(!*value));
-        }
+        let assumptions =
+            layered_assumptions(&[self.act], &self.base_assumptions, &self.input_vars, fixed)?;
         Ok(match self.session.solve_under(&assumptions) {
             Outcome::Unsat => EquivResult::Equivalent,
             Outcome::Unknown => EquivResult::Unknown,
@@ -341,6 +395,274 @@ impl EquivSession {
     }
 
     /// Number of checks answered so far.
+    pub fn checks(&self) -> usize {
+        self.session.solve_count()
+    }
+}
+
+/// A persistent miter with **per-output** difference literals and **lazy
+/// cone encoding**, built for the post-morph incremental verification loop.
+///
+/// Where [`EquivSession`] encodes both circuits up front and owns a single
+/// all-outputs difference clause, an `IncrementalEquivSession` encodes an
+/// output pair's fan-in cones only when that output is first checked, and
+/// can restrict a query to any output subset. After a morph reports which
+/// key bits changed, the verifier asks only about the *dirty* outputs —
+/// the cones actually containing changed key bits — and the clean outputs'
+/// previous verdicts carry over (their difference is a function of inputs
+/// whose pinned values did not change). Each distinct output subset gets
+/// one guarded disjunction clause (`∨ xᵢ ∨ ¬g`), memoized so a recurring
+/// dirty set re-uses its guard instead of growing the clause database.
+///
+/// The session owns clones of both netlists so cones can be encoded on
+/// demand; it is keyed to the netlists *as constructed* (structural edits
+/// afterwards are not observed — check [`IncrementalEquivSession::generations`]
+/// against [`Netlist::generation`] to detect staleness).
+///
+/// # Examples
+///
+/// ```
+/// use ril_netlist::generators;
+/// use ril_sat::{EquivOptions, EquivResult, IncrementalEquivSession};
+///
+/// let nl = generators::adder(4);
+/// let mut sess =
+///     IncrementalEquivSession::new(&nl, &nl.clone(), &EquivOptions::default()).unwrap();
+/// // Check a single output's cone — only that cone gets encoded.
+/// assert_eq!(sess.check_outputs(&[0], &[]).unwrap(), EquivResult::Equivalent);
+/// assert!(sess.encoded_outputs() < sess.outputs());
+/// // The full check encodes the rest on demand.
+/// assert_eq!(sess.check(), EquivResult::Equivalent);
+/// assert_eq!(sess.encoded_outputs(), sess.outputs());
+/// ```
+#[derive(Debug)]
+pub struct IncrementalEquivSession {
+    session: Session,
+    left: Netlist,
+    right: Netlist,
+    out_pairs: Vec<(NetId, NetId)>,
+    /// Per-output difference literal, allocated when the cone is encoded.
+    diff: Vec<Option<Lit>>,
+    vars_left: HashMap<NetId, Var>,
+    vars_right: HashMap<NetId, Var>,
+    encoded_left: HashSet<GateId>,
+    encoded_right: HashSet<GateId>,
+    input_vars: HashMap<String, Var>,
+    shared_vars: Vec<Var>,
+    base_assumptions: Vec<Lit>,
+    /// Guard literal per (sorted, deduped) output subset already queried.
+    guards: HashMap<Vec<usize>, Lit>,
+    generations: (u64, u64),
+}
+
+impl IncrementalEquivSession {
+    /// Matches ports of `left` vs `right` (same rules as
+    /// [`EquivSession::new`]) and allocates input variables, but encodes
+    /// **no** gates yet — cones are pushed into the session on first use by
+    /// [`IncrementalEquivSession::check_outputs`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EquivError::PortMismatch`] on name mismatches.
+    pub fn new(
+        left: &Netlist,
+        right: &Netlist,
+        options: &EquivOptions,
+    ) -> Result<IncrementalEquivSession, EquivError> {
+        let mut session = Session::with_config(SolverConfig {
+            timeout: options.timeout,
+            ..SolverConfig::default()
+        });
+        let mut cnf = Cnf::new();
+        cnf.reserve_vars(session.num_vars());
+        let MiterPorts {
+            out_pairs,
+            shared_vars,
+            input_vars,
+            pins_left,
+            pins_right,
+            base_assumptions,
+        } = match_ports(&mut cnf, left, right, options)?;
+        session.append_cnf(&cnf);
+        let n_outputs = out_pairs.len();
+        Ok(IncrementalEquivSession {
+            session,
+            left: left.clone(),
+            right: right.clone(),
+            out_pairs,
+            diff: vec![None; n_outputs],
+            vars_left: pins_left,
+            vars_right: pins_right,
+            encoded_left: HashSet::new(),
+            encoded_right: HashSet::new(),
+            input_vars,
+            shared_vars,
+            base_assumptions,
+            guards: HashMap::new(),
+            generations: (left.generation(), right.generation()),
+        })
+    }
+
+    /// The netlist [`Netlist::generation`] stamps `(left, right)` this
+    /// miter was encoded against.
+    pub fn generations(&self) -> (u64, u64) {
+        self.generations
+    }
+
+    /// Number of matched output pairs.
+    pub fn outputs(&self) -> usize {
+        self.out_pairs.len()
+    }
+
+    /// Number of output pairs whose cones have been pushed into the solver.
+    pub fn encoded_outputs(&self) -> usize {
+        self.diff.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Encodes output pair `i`'s fan-in cones (left and right, minus gates
+    /// already in the solver) and its difference literal.
+    fn ensure_output(&mut self, i: usize) -> Result<(), EquivError> {
+        if self.diff[i].is_some() {
+            return Ok(());
+        }
+        let (lo, ro) = self.out_pairs[i];
+        let mut cnf = Cnf::new();
+        cnf.reserve_vars(self.session.num_vars());
+
+        let cone_l = fanin_cone(&self.left, lo);
+        let encoded = &self.encoded_left;
+        let map = encode_selected(&self.left, &mut cnf, &self.vars_left, |g| {
+            cone_l.binary_search(&g).is_ok() && !encoded.contains(&g)
+        })?;
+        self.vars_left = map;
+        self.encoded_left.extend(cone_l.iter().copied());
+
+        let cone_r = fanin_cone(&self.right, ro);
+        let encoded = &self.encoded_right;
+        let map = encode_selected(&self.right, &mut cnf, &self.vars_right, |g| {
+            cone_r.binary_search(&g).is_ok() && !encoded.contains(&g)
+        })?;
+        self.vars_right = map;
+        self.encoded_right.extend(cone_r.iter().copied());
+
+        // An output that is itself a primary input already has a pin; any
+        // other un-encoded output net gets a free variable (mirroring the
+        // eager encoder, which allocates variables for every net).
+        let a = self
+            .vars_left
+            .entry(lo)
+            .or_insert_with(|| cnf.new_var())
+            .positive();
+        let b = self
+            .vars_right
+            .entry(ro)
+            .or_insert_with(|| cnf.new_var())
+            .positive();
+        let x = cnf.new_var().positive();
+        cnf.add_clause([!x, a, b]);
+        cnf.add_clause([!x, !a, !b]);
+        cnf.add_clause([x, !a, b]);
+        cnf.add_clause([x, a, !b]);
+        self.diff[i] = Some(x);
+        self.session.append_cnf(&cnf);
+        Ok(())
+    }
+
+    /// One equivalence query restricted to the given output indices
+    /// (positions in the matched output-pair order, which follows the left
+    /// netlist's [`Netlist::outputs`] order), with per-call pinned inputs
+    /// layered over the base fixed inputs.
+    ///
+    /// An empty `outputs` slice is vacuously [`EquivResult::Equivalent`].
+    /// Cones are encoded on demand; the subset's guarded difference clause
+    /// is created once and reused on repeat queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EquivError::PortMismatch`] for out-of-range output indices
+    /// or unknown input names, [`EquivError::Encode`] if a cone contains a
+    /// DFF.
+    pub fn check_outputs(
+        &mut self,
+        outputs: &[usize],
+        fixed: &[(String, bool)],
+    ) -> Result<EquivResult, EquivError> {
+        let mut subset: Vec<usize> = outputs.to_vec();
+        subset.sort_unstable();
+        subset.dedup();
+        if let Some(&bad) = subset.last().filter(|&&o| o >= self.out_pairs.len()) {
+            return Err(EquivError::PortMismatch(format!(
+                "output index {bad} out of range ({} outputs)",
+                self.out_pairs.len()
+            )));
+        }
+        if subset.is_empty() {
+            return Ok(EquivResult::Equivalent);
+        }
+        for &o in &subset {
+            self.ensure_output(o)?;
+        }
+        let guard = match self.guards.get(&subset) {
+            Some(&g) => g,
+            None => {
+                let g = self.session.new_var().positive();
+                let mut clause: Vec<Lit> = subset
+                    .iter()
+                    .map(|&o| self.diff[o].expect("cone encoded above"))
+                    .collect();
+                clause.push(!g);
+                self.session.add_clause(clause);
+                self.guards.insert(subset.clone(), g);
+                g
+            }
+        };
+        let assumptions =
+            layered_assumptions(&[guard], &self.base_assumptions, &self.input_vars, fixed)?;
+        Ok(match self.session.solve_under(&assumptions) {
+            Outcome::Unsat => EquivResult::Equivalent,
+            Outcome::Unknown => EquivResult::Unknown,
+            Outcome::Sat => {
+                let model = self.session.model();
+                EquivResult::Inequivalent {
+                    counterexample: self.shared_vars.iter().map(|v| model[v.index()]).collect(),
+                }
+            }
+        })
+    }
+
+    /// One full equivalence query (all outputs) under the base fixed
+    /// inputs.
+    pub fn check(&mut self) -> EquivResult {
+        self.check_with(&[]).expect("no overrides: names known")
+    }
+
+    /// One full equivalence query with per-call pinned inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EquivError::PortMismatch`] if a name matches no input.
+    pub fn check_with(&mut self, fixed: &[(String, bool)]) -> Result<EquivResult, EquivError> {
+        let all: Vec<usize> = (0..self.out_pairs.len()).collect();
+        self.check_outputs(&all, fixed)
+    }
+
+    /// Updates the per-call wall-clock budget.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.session.set_budget(Budget::from_timeout(timeout));
+    }
+
+    /// Applies a full [`Budget`] to subsequent checks.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.session.set_budget(budget);
+    }
+
+    /// Cumulative solver statistics across all checks.
+    pub fn stats(&self) -> SolverStats {
+        self.session.stats()
+    }
+
+    /// Number of checks answered so far (vacuous empty-subset checks
+    /// excluded — they never reach the solver).
     pub fn checks(&self) -> usize {
         self.session.solve_count()
     }
@@ -558,6 +880,107 @@ mod tests {
         assert!(matches!(err, Err(EquivError::PortMismatch(_))));
         assert_eq!(session.num_vars(), 1);
         assert_eq!(session.solve(), Outcome::Sat);
+    }
+
+    #[test]
+    fn incremental_session_agrees_with_scratch() {
+        let l = and_circuit("l", GateKind::And);
+        let r_eq = and_circuit("r", GateKind::And);
+        let r_ne = and_circuit("r2", GateKind::Or);
+        for (right, expect_eq) in [(&r_eq, true), (&r_ne, false)] {
+            let scratch = check_equivalence(&l, right, &EquivOptions::default()).unwrap();
+            let mut inc =
+                IncrementalEquivSession::new(&l, right, &EquivOptions::default()).unwrap();
+            let got = inc.check();
+            assert_eq!(
+                matches!(got, EquivResult::Equivalent),
+                expect_eq,
+                "incremental verdict"
+            );
+            assert_eq!(
+                matches!(scratch, EquivResult::Equivalent),
+                matches!(got, EquivResult::Equivalent),
+                "scratch vs incremental"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_session_lazy_cones_and_subsets() {
+        // Two independent outputs: y0 = AND(a,b) on both sides, y1 = XOR
+        // vs XNOR (inequivalent).
+        let build = |name: &str, second: GateKind| {
+            let mut nl = Netlist::new(name.to_string());
+            let a = nl.add_input("a").unwrap();
+            let b = nl.add_input("b").unwrap();
+            let y0 = nl.add_net("y0").unwrap();
+            let y1 = nl.add_net("y1").unwrap();
+            nl.add_gate(GateKind::And, &[a, b], y0).unwrap();
+            nl.add_gate(second, &[a, b], y1).unwrap();
+            nl.mark_output(y0);
+            nl.mark_output(y1);
+            nl
+        };
+        let l = build("l", GateKind::Xor);
+        let r = build("r", GateKind::Xnor);
+        let mut inc = IncrementalEquivSession::new(&l, &r, &EquivOptions::default()).unwrap();
+        assert_eq!(inc.outputs(), 2);
+        assert_eq!(inc.encoded_outputs(), 0);
+        // Output 0 alone: equivalent, and only its cone was encoded.
+        assert_eq!(
+            inc.check_outputs(&[0], &[]).unwrap(),
+            EquivResult::Equivalent
+        );
+        assert_eq!(inc.encoded_outputs(), 1);
+        // Output 1 alone: inequivalent.
+        assert!(matches!(
+            inc.check_outputs(&[1], &[]).unwrap(),
+            EquivResult::Inequivalent { .. }
+        ));
+        assert_eq!(inc.encoded_outputs(), 2);
+        // Full check still inequivalent; subset guard for {0} is memoized
+        // (repeat query adds no clause, just re-assumes the guard).
+        assert!(matches!(inc.check(), EquivResult::Inequivalent { .. }));
+        let before = inc.checks();
+        assert_eq!(
+            inc.check_outputs(&[0], &[]).unwrap(),
+            EquivResult::Equivalent
+        );
+        assert_eq!(inc.checks(), before + 1);
+        // Empty subset is vacuously equivalent without a solve.
+        assert_eq!(
+            inc.check_outputs(&[], &[]).unwrap(),
+            EquivResult::Equivalent
+        );
+        assert_eq!(inc.checks(), before + 1);
+        // Out-of-range index is a port error.
+        assert!(matches!(
+            inc.check_outputs(&[7], &[]),
+            Err(EquivError::PortMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn incremental_session_layers_fixed_inputs() {
+        // right = left XOR se, key-style: pin `se` per call.
+        let l = and_circuit("l", GateKind::And);
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(se)\nOUTPUT(y)\nt = AND(a, b)\ny = XOR(t, se)\n";
+        let r = parse_bench("r", text).unwrap();
+        let opts = EquivOptions {
+            fixed_inputs: vec![("se".into(), false)],
+            ..EquivOptions::default()
+        };
+        let mut inc = IncrementalEquivSession::new(&l, &r, &opts).unwrap();
+        assert_eq!(inc.check(), EquivResult::Equivalent);
+        assert!(matches!(
+            inc.check_with(&[("se".into(), true)]).unwrap(),
+            EquivResult::Inequivalent { .. }
+        ));
+        assert_eq!(inc.check(), EquivResult::Equivalent);
+        assert!(matches!(
+            inc.check_outputs(&[0], &[("nope".into(), true)]),
+            Err(EquivError::PortMismatch(_))
+        ));
     }
 
     #[test]

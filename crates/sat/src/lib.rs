@@ -38,6 +38,7 @@ pub mod tseitin;
 pub use cnf::{Cnf, ParseDimacsError};
 pub use equiv::{
     check_equivalence, check_equivalence_in, EquivError, EquivOptions, EquivResult, EquivSession,
+    IncrementalEquivSession,
 };
 pub use lit::{LBool, Lit, Var};
 pub use portfolio::{Portfolio, PortfolioStats};

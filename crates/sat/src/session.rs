@@ -303,38 +303,6 @@ impl Session {
         self.set_budget(budget);
         self.solve_under(assumptions)
     }
-
-    /// Wall-clock budget for subsequent solve calls (measured per call).
-    #[deprecated(since = "0.4.0", note = "use set_budget/solve_within with a Budget")]
-    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
-        match &mut self.engine {
-            #[allow(deprecated)]
-            Engine::Single(s) => s.set_timeout(timeout),
-            Engine::Portfolio(p) => {
-                let budget = match timeout {
-                    Some(t) if !t.is_zero() => Budget::wall(t).expect("nonzero"),
-                    _ => Budget::unlimited(),
-                };
-                p.set_budget(budget);
-            }
-        }
-    }
-
-    /// Conflict budget for the *next* solve calls, counted from now.
-    #[deprecated(since = "0.4.0", note = "use set_budget/solve_within with a Budget")]
-    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
-        match &mut self.engine {
-            #[allow(deprecated)]
-            Engine::Single(s) => s.set_conflict_budget(budget),
-            Engine::Portfolio(p) => {
-                let b = match budget {
-                    Some(n) if n > 0 => Budget::conflicts(n).expect("nonzero"),
-                    _ => Budget::unlimited(),
-                };
-                p.set_budget(b);
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -441,18 +409,6 @@ mod tests {
         // A fresh per-call budget counts from the current total, so the
         // second call gets real work done rather than dying instantly.
         s.set_budget(Budget::conflicts(1_000_000).unwrap());
-        assert_eq!(s.solve(), Outcome::Unsat);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_setters_still_budget() {
-        let mut s = Session::new();
-        pigeonhole_into(&mut s, 4);
-        s.set_conflict_budget(Some(2));
-        assert_eq!(s.solve(), Outcome::Unknown);
-        s.set_conflict_budget(None);
-        s.set_timeout(Some(Duration::from_secs(60)));
         assert_eq!(s.solve(), Outcome::Unsat);
     }
 

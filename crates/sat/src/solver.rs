@@ -187,8 +187,7 @@ impl std::error::Error for SolverConfigError {}
 /// A validated resource budget for solve calls: optional conflict and
 /// wall-clock limits. Zero limits are rejected at construction (a zero
 /// budget is always a caller bug — it would silently turn every solve
-/// into [`Outcome::Unknown`]), replacing the old trio of
-/// `set_conflict_budget`/`set_timeout`/`set_max_conflicts` setters.
+/// into [`Outcome::Unknown`]).
 ///
 /// # Examples
 ///
@@ -593,27 +592,6 @@ impl Solver {
     pub fn solve_within(&mut self, assumptions: &[Lit], budget: Budget) -> Outcome {
         self.set_budget(budget);
         self.solve_with_assumptions(assumptions)
-    }
-
-    /// Sets the conflict budget to `budget` conflicts *from now* (on top of
-    /// the cumulative count), or removes it.
-    #[deprecated(since = "0.4.0", note = "use set_budget/solve_within with a Budget")]
-    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
-        self.config.max_conflicts = budget.map(|b| self.stats.conflicts.saturating_add(b));
-    }
-
-    /// Updates the wall-clock budget for subsequent solve calls (the budget
-    /// is measured from the start of each call).
-    #[deprecated(since = "0.4.0", note = "use set_budget/solve_within with a Budget")]
-    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
-        self.config.timeout = timeout;
-    }
-
-    /// Updates the conflict budget for subsequent solve calls. The limit is
-    /// cumulative over the solver's lifetime statistics.
-    #[deprecated(since = "0.4.0", note = "use set_budget/solve_within with a Budget")]
-    pub fn set_max_conflicts(&mut self, max_conflicts: Option<u64>) {
-        self.config.max_conflicts = max_conflicts;
     }
 
     /// Installs (or clears) a cooperative stop flag: once the flag is

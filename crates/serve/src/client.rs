@@ -6,6 +6,7 @@ use crate::protocol::{
     read_frame, write_frame, DesignSpec, ErrorKind, FrameError, Request, Response, ServerStats,
 };
 use ril_attacks::{OracleError, OracleSource};
+use ril_core::MorphDelta;
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -213,6 +214,8 @@ pub struct RemoteOracle {
     queries: u64,
     generation: u64,
     generation_changes: u64,
+    pending_delta: MorphDelta,
+    delta_complete: bool,
 }
 
 impl RemoteOracle {
@@ -246,6 +249,8 @@ impl RemoteOracle {
                 queries: 0,
                 generation,
                 generation_changes: 0,
+                pending_delta: MorphDelta::default(),
+                delta_complete: true,
             }),
             other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
         }
@@ -268,6 +273,9 @@ impl RemoteOracle {
             queries: 0,
             generation: 0,
             generation_changes: 0,
+            pending_delta: MorphDelta::default(),
+            // The chip may have morphed before we bound to it.
+            delta_complete: false,
         }
     }
 
@@ -281,22 +289,45 @@ impl RemoteOracle {
         self.generation_changes
     }
 
-    /// Manually re-keys the remote chip.
+    /// Manually re-keys the remote chip and returns the *net* key delta
+    /// the server published — which key bits now hold a different value.
+    /// The delta is also folded into [`RemoteOracle::take_delta`]'s
+    /// accumulator.
     ///
     /// # Errors
     ///
     /// Any [`ClientError`].
-    pub fn morph(&mut self) -> Result<u64, ClientError> {
+    pub fn morph(&mut self) -> Result<MorphDelta, ClientError> {
         match self.client.request(&Request::Morph { chip: self.chip })? {
             Response::Morphed {
                 generation,
-                bits_changed,
+                changed_bits,
+                ..
             } => {
-                self.observe_generation(generation);
-                Ok(bits_changed)
+                let delta = MorphDelta::from_changed_bits(changed_bits);
+                self.pending_delta.merge(&delta);
+                if generation != self.generation {
+                    self.generation_changes += 1;
+                    self.generation = generation;
+                }
+                Ok(delta)
             }
             other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
         }
+    }
+
+    /// Drains the accumulated key delta since the last call (or since
+    /// activation): `Some(delta)` when every generation change seen so
+    /// far arrived with a published delta, `None` when at least one morph
+    /// happened *behind* a query/scheduler (those responses carry only
+    /// the new generation, not the delta) — the caller must then fall
+    /// back to a full re-check rather than a dirty-cone-only one.
+    /// Either way the accumulator resets.
+    pub fn take_delta(&mut self) -> Option<MorphDelta> {
+        let complete = self.delta_complete;
+        self.delta_complete = true;
+        let delta = std::mem::take(&mut self.pending_delta);
+        complete.then_some(delta)
     }
 
     /// The underlying client (for `stats` / `shutdown_server`).
@@ -308,6 +339,9 @@ impl RemoteOracle {
         if generation != self.generation {
             self.generation_changes += 1;
             self.generation = generation;
+            // This generation bump was *not* accompanied by a delta (it
+            // rode a query response), so the accumulator is incomplete.
+            self.delta_complete = false;
         }
     }
 }

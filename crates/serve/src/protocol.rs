@@ -453,8 +453,15 @@ pub enum Response {
     Morphed {
         /// The chip's new generation.
         generation: u64,
-        /// Key bits whose value changed.
+        /// Key-bit *transitions* across the morph's moves (a bit toggled
+        /// twice counts twice) — [`ril_core::MorphReport::bits_changed`].
         bits_changed: u64,
+        /// Indices of key bits whose *value* differs from the previous
+        /// generation (the net [`ril_core::MorphDelta`]), sorted
+        /// ascending. Combined with the netlist's key analysis this names
+        /// exactly the output cones whose logic changed, so a client can
+        /// re-verify or re-encode only those.
+        changed_bits: Vec<usize>,
     },
     /// Statistics snapshot.
     Stats(ServerStats),
@@ -499,9 +506,14 @@ impl Response {
             Response::Morphed {
                 generation,
                 bits_changed,
-            } => format!(
-                r#"{{"ok":"morphed","generation":{generation},"bits_changed":{bits_changed}}}"#
-            ),
+                changed_bits,
+            } => {
+                let bits: Vec<String> = changed_bits.iter().map(usize::to_string).collect();
+                format!(
+                    r#"{{"ok":"morphed","generation":{generation},"bits_changed":{bits_changed},"changed_bits":[{}]}}"#,
+                    bits.join(",")
+                )
+            }
             Response::Stats(stats) => {
                 let chips: Vec<String> = stats
                     .chips
@@ -572,10 +584,25 @@ impl Response {
                     generation: u64_field(&v, "generation")?,
                 }
             }
-            "morphed" => Response::Morphed {
-                generation: u64_field(&v, "generation")?,
-                bits_changed: u64_field(&v, "bits_changed")?,
-            },
+            "morphed" => {
+                let rows = v
+                    .get("changed_bits")
+                    .and_then(JsonValue::as_array)
+                    .ok_or("missing `changed_bits` array")?;
+                let mut changed_bits = Vec::with_capacity(rows.len());
+                for row in rows {
+                    changed_bits.push(
+                        row.as_u64()
+                            .ok_or("changed_bits entries must be integers")?
+                            as usize,
+                    );
+                }
+                Response::Morphed {
+                    generation: u64_field(&v, "generation")?,
+                    bits_changed: u64_field(&v, "bits_changed")?,
+                    changed_bits,
+                }
+            }
             "stats" => {
                 let rows = v
                     .get("chips")
@@ -709,6 +736,12 @@ mod tests {
             Response::Morphed {
                 generation: 5,
                 bits_changed: 11,
+                changed_bits: vec![0, 3, 9],
+            },
+            Response::Morphed {
+                generation: 6,
+                bits_changed: 2,
+                changed_bits: Vec::new(),
             },
             Response::Stats(ServerStats {
                 requests: 42,

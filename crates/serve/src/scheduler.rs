@@ -9,22 +9,25 @@
 //! chip it is now talking to.
 
 use crate::server::{HostedChip, State};
-use ril_core::{morph_all, MorphReport};
+use ril_core::{morph_all_delta, MorphDelta, MorphReport};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Applies one morph to a hosted chip: re-keys the locked circuit,
 /// re-burns the oracle, bumps the generation, and resets both triggers.
-pub(crate) fn do_morph(chip: &mut HostedChip) -> MorphReport {
-    let report = morph_all(&mut chip.locked, &mut chip.rng);
+/// Returns the move report plus the *net* key delta, which the protocol
+/// publishes so clients can re-check only the dirty output cones.
+pub(crate) fn do_morph(chip: &mut HostedChip) -> (MorphReport, MorphDelta) {
+    let (report, delta) = morph_all_delta(&mut chip.locked, &mut chip.rng);
     chip.oracle.rekey(&chip.locked);
     chip.generation += 1;
     chip.morphs += 1;
     chip.since_morph = 0;
     chip.last_morph = Instant::now();
     ril_trace::counter("serve.morphs", 1);
-    report
+    ril_trace::counter("serve.key_bits_morphed", delta.len() as u64);
+    (report, delta)
 }
 
 /// Spawns the time-based trigger: every tick, morph any chip whose key

@@ -453,10 +453,11 @@ fn morph(state: &State, chip_id: u64) -> Response {
     let Some(chip) = chips.get_mut(&chip_id) else {
         return err(ErrorKind::UnknownChip, format!("no chip {chip_id}"));
     };
-    let report = do_morph(chip);
+    let (report, delta) = do_morph(chip);
     Response::Morphed {
         generation: chip.generation,
         bits_changed: report.bits_changed as u64,
+        changed_bits: delta.changed_bits().to_vec(),
     }
 }
 

@@ -97,6 +97,9 @@ fn query_triggered_morphing_defeats_the_remote_attack() {
             oracle.generation_changes() > 0,
             "the oracle should have observed generation bumps"
         );
+        // Those morphs rode behind query responses (no delta published),
+        // so the delta accumulator must report itself incomplete.
+        assert_eq!(oracle.take_delta(), None);
         if !truly_correct {
             defeated = true;
             break;
@@ -159,14 +162,23 @@ fn manual_morphs_preserve_functional_responses() {
         .iter()
         .map(|p| oracle.try_query(p).unwrap())
         .collect();
+    let key_bits = design.build().unwrap().keys.bits().len();
+    let mut accumulated = ril_core::MorphDelta::default();
     for round in 1..=3u64 {
-        oracle.morph().unwrap();
+        let delta = oracle.morph().unwrap();
         assert_eq!(oracle.generation(), Some(round));
+        // The published delta names real key-bit indices of this design.
+        assert!(delta.changed_bits().iter().all(|&b| b < key_bits));
+        accumulated.merge(&delta);
         let after: Vec<Vec<bool>> = patterns
             .iter()
             .map(|p| oracle.try_query(p).unwrap())
             .collect();
         assert_eq!(before, after, "morph broke functionality at round {round}");
     }
+    // Every generation change arrived with a published delta, so the
+    // accumulator is complete and drains to the union of the rounds.
+    assert_eq!(oracle.take_delta(), Some(accumulated));
+    assert_eq!(oracle.take_delta(), Some(ril_core::MorphDelta::default()));
     handle.shutdown();
 }

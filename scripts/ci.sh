@@ -15,6 +15,11 @@ cargo fmt --all --check
 echo "== clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== clippy (netlist analyses: no unordered hash-map iteration) =="
+# The analysis cache promises deterministic, sorted results; iterating a
+# HashMap/HashSet in ril-netlist would silently break that promise.
+cargo clippy -p ril-netlist --all-targets -- -D warnings -D clippy::iter_over_hash_type
+
 echo "== serve smoke (rilock serve + remote SAT attack with morphing) =="
 mkdir -p exp_out
 ADDR_FILE=exp_out/ci_serve.addr
@@ -47,6 +52,15 @@ RIL_OUT_DIR=exp_out/ci_dynamic RIL_LOG=error cargo run --release -q -p ril-bench
   || { tail -50 exp_out/ci_dynamic.log; exit 1; }
 tail -10 exp_out/ci_dynamic.log
 cargo run --release -q -p ril-bench --bin ril-bench -- validate exp_out/ci_dynamic
+
+echo "== incremental verify smoke (ril-bench run incremental_verify --smoke) =="
+# Timed live, never cached (--no-cache is belt-and-braces): the ≥5x
+# incremental-vs-full-rebuild floor is asserted inside the experiment.
+RIL_OUT_DIR=exp_out/ci_incremental RIL_LOG=error cargo run --release -q -p ril-bench --bin ril-bench -- \
+  run incremental_verify --smoke --no-cache >exp_out/ci_incremental.log 2>&1 \
+  || { tail -50 exp_out/ci_incremental.log; exit 1; }
+tail -10 exp_out/ci_incremental.log
+cargo run --release -q -p ril-bench --bin ril-bench -- validate exp_out/ci_incremental
 
 echo "== experiment smoke (ril-bench run --all --smoke) =="
 RIL_OUT_DIR=exp_out/ci_smoke RIL_LOG=error cargo run --release -q -p ril-bench --bin ril-bench -- \
